@@ -1,0 +1,111 @@
+//! Fast Gradient Sign Method (Goodfellow et al. \[6\]) — the single-step
+//! generator of §II-A: one gradient-ascent step on the classifier loss,
+//! moving every pixel by `ε` along the sign of the input gradient.
+
+use crate::{project, Attack};
+use gandef_nn::{one_hot, Classifier};
+use gandef_tensor::rng::Prng;
+use gandef_tensor::Tensor;
+
+/// FGSM: `x̂ = F(x̄ + ε · sign(∇ₓ L(C(x̄), t)))`.
+#[derive(Clone, Copy, Debug)]
+pub struct Fgsm {
+    eps: f32,
+}
+
+impl Fgsm {
+    /// Creates FGSM with `l∞` budget `eps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is not positive.
+    pub fn new(eps: f32) -> Self {
+        assert!(eps > 0.0, "eps must be positive");
+        Fgsm { eps }
+    }
+}
+
+impl Attack for Fgsm {
+    fn name(&self) -> &str {
+        "FGSM"
+    }
+
+    fn perturb(
+        &self,
+        model: &dyn Classifier,
+        x: &Tensor,
+        labels: &[usize],
+        _rng: &mut Prng,
+    ) -> Tensor {
+        let targets = one_hot(labels, model.num_classes());
+        let (_, grad) = model.ce_input_grad(x, &targets);
+        let stepped = x.add(&grad.signum().scale(self.eps));
+        project(&stepped, x, self.eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::trained_digits_net;
+    use gandef_nn::accuracy;
+
+    #[test]
+    fn stays_within_ball_and_pixel_range() {
+        let (net, x, y) = trained_digits_net();
+        let x = x.slice_rows(0, 16);
+        let attack = Fgsm::new(0.6);
+        let adv = attack.perturb(&net, &x, &y[..16], &mut Prng::new(0));
+        assert_eq!(adv.shape(), x.shape());
+        assert!(adv.sub(&x).linf_norm() <= 0.6 + 1e-5);
+        assert!(adv.min_value() >= -1.0 && adv.max_value() <= 1.0);
+    }
+
+    #[test]
+    fn increases_classifier_loss() {
+        let (net, x, y) = trained_digits_net();
+        let x = x.slice_rows(0, 32);
+        let targets = one_hot(&y[..32], 10);
+        let (clean_loss, _) = net.ce_input_grad(&x, &targets);
+        let attack = Fgsm::new(0.6);
+        let adv = attack.perturb(&net, &x, &y[..32], &mut Prng::new(0));
+        let (adv_loss, _) = net.ce_input_grad(&adv, &targets);
+        assert!(
+            adv_loss > clean_loss * 1.5,
+            "loss {clean_loss} -> {adv_loss}: FGSM too weak"
+        );
+    }
+
+    #[test]
+    fn drops_accuracy_substantially() {
+        let (net, x, y) = trained_digits_net();
+        let clean_acc = accuracy(&net.predict(&x), &y);
+        let attack = Fgsm::new(0.6);
+        let adv = attack.perturb(&net, &x, &y, &mut Prng::new(0));
+        let adv_acc = accuracy(&net.predict(&adv), &y);
+        assert!(
+            adv_acc < clean_acc - 0.3,
+            "accuracy {clean_acc} -> {adv_acc}: attack ineffective"
+        );
+    }
+
+    #[test]
+    fn epsilon_scales_perturbation() {
+        let (net, x, y) = trained_digits_net();
+        let x = x.slice_rows(0, 4);
+        let small = Fgsm::new(0.1).perturb(&net, &x, &y[..4], &mut Prng::new(0));
+        let large = Fgsm::new(0.5).perturb(&net, &x, &y[..4], &mut Prng::new(0));
+        assert!(small.sub(&x).linf_norm() <= 0.1 + 1e-5);
+        assert!(large.sub(&x).linf_norm() > 0.3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (net, x, y) = trained_digits_net();
+        let x = x.slice_rows(0, 4);
+        let attack = Fgsm::new(0.6);
+        let a = attack.perturb(&net, &x, &y[..4], &mut Prng::new(0));
+        let b = attack.perturb(&net, &x, &y[..4], &mut Prng::new(99));
+        assert_eq!(a, b, "FGSM is gradient-only; RNG must not matter");
+    }
+}

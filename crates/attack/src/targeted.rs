@@ -1,0 +1,167 @@
+//! Targeted attacks — §II-A's stronger adversary, who "could arbitrarily
+//! control the output class through carefully designed perturbations"
+//! (`C(x̂) = z_o` in the paper's formulation).
+//!
+//! [`TargetedPgd`] *descends* the cross-entropy toward an adversary-chosen
+//! class instead of ascending it away from the truth. Target selection
+//! follows the common least-likely-class rule (Kurakin et al.), the
+//! hardest target for the classifier.
+
+use crate::{project, Attack};
+use gandef_nn::{one_hot, Classifier};
+use gandef_tensor::rng::Prng;
+use gandef_tensor::Tensor;
+
+/// How the adversary picks the class to steer each sample toward.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TargetRule {
+    /// The class the current model ranks *least* likely (hardest target).
+    LeastLikely,
+    /// A fixed class for every sample.
+    Fixed(usize),
+    /// The true label plus an offset (mod classes) — deterministic and
+    /// label-dependent, useful for tests.
+    Shift(usize),
+}
+
+/// Targeted PGD: random start, then iterative *descent* of
+/// `L(C(x̂), target)` inside the ε-ball.
+#[derive(Clone, Copy, Debug)]
+pub struct TargetedPgd {
+    eps: f32,
+    step: f32,
+    iters: usize,
+    rule: TargetRule,
+}
+
+impl TargetedPgd {
+    /// Creates targeted PGD with the least-likely-class rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all parameters are positive.
+    pub fn new(eps: f32, step: f32, iters: usize) -> Self {
+        TargetedPgd::with_rule(eps, step, iters, TargetRule::LeastLikely)
+    }
+
+    /// Creates targeted PGD with an explicit target rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all parameters are positive.
+    pub fn with_rule(eps: f32, step: f32, iters: usize, rule: TargetRule) -> Self {
+        assert!(
+            eps > 0.0 && step > 0.0 && iters > 0,
+            "invalid targeted PGD config"
+        );
+        TargetedPgd {
+            eps,
+            step,
+            iters,
+            rule,
+        }
+    }
+
+    /// Resolves the per-sample target classes.
+    pub fn targets(&self, model: &dyn Classifier, x: &Tensor, labels: &[usize]) -> Vec<usize> {
+        let classes = model.num_classes();
+        match self.rule {
+            TargetRule::Fixed(c) => vec![c.min(classes - 1); labels.len()],
+            TargetRule::Shift(k) => labels.iter().map(|&l| (l + k) % classes).collect(),
+            TargetRule::LeastLikely => {
+                let z = model.logits(x);
+                (0..labels.len())
+                    .map(|i| {
+                        (0..classes)
+                            .min_by(|&a, &b| {
+                                z.at(&[i, a]).partial_cmp(&z.at(&[i, b])).unwrap()
+                            })
+                            .unwrap()
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+impl Attack for TargetedPgd {
+    fn name(&self) -> &str {
+        "Targeted-PGD"
+    }
+
+    fn perturb(
+        &self,
+        model: &dyn Classifier,
+        x: &Tensor,
+        labels: &[usize],
+        rng: &mut Prng,
+    ) -> Tensor {
+        let target_classes = self.targets(model, x, labels);
+        let targets = one_hot(&target_classes, model.num_classes());
+        let noise = rng.uniform_tensor(x.shape().dims(), -self.eps, self.eps);
+        let mut adv = project(&x.add(&noise), x, self.eps);
+        for _ in 0..self.iters {
+            let (_, grad) = model.ce_input_grad(&adv, &targets);
+            // Descend toward the target (note the minus sign vs PGD).
+            adv = adv.add(&grad.signum().scale(-self.step));
+            adv = project(&adv, x, self.eps);
+        }
+        adv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::trained_digits_net;
+
+    #[test]
+    fn constraints_hold() {
+        let (net, x, y) = trained_digits_net();
+        let x = x.slice_rows(0, 8);
+        let adv = TargetedPgd::new(0.6, 0.05, 10).perturb(&net, &x, &y[..8], &mut Prng::new(0));
+        assert!(adv.sub(&x).linf_norm() <= 0.6 + 1e-5);
+        assert!(adv.min_value() >= -1.0 && adv.max_value() <= 1.0);
+    }
+
+    #[test]
+    fn steers_predictions_toward_the_target() {
+        let (net, x, y) = trained_digits_net();
+        let attack = TargetedPgd::with_rule(0.6, 0.05, 20, TargetRule::Shift(3));
+        let targets = attack.targets(&net, &x, &y);
+        let adv = attack.perturb(&net, &x, &y, &mut Prng::new(0));
+        let preds = net.predict(&adv);
+        let hit = preds
+            .iter()
+            .zip(&targets)
+            .filter(|(p, t)| p == t)
+            .count() as f32
+            / y.len() as f32;
+        assert!(
+            hit > 0.5,
+            "targeted attack only reached its target on {hit} of samples"
+        );
+    }
+
+    #[test]
+    fn least_likely_rule_picks_argmin_logit() {
+        let (net, x, _) = trained_digits_net();
+        let x = x.slice_rows(0, 4);
+        let attack = TargetedPgd::new(0.6, 0.05, 1);
+        let targets = attack.targets(&net, &x, &[0, 0, 0, 0]);
+        let z = net.logits(&x);
+        for (i, &t) in targets.iter().enumerate() {
+            for c in 0..10 {
+                assert!(z.at(&[i, t]) <= z.at(&[i, c]) + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_rule_is_constant() {
+        let (net, x, y) = trained_digits_net();
+        let attack = TargetedPgd::with_rule(0.6, 0.05, 1, TargetRule::Fixed(7));
+        let targets = attack.targets(&net, &x.slice_rows(0, 5), &y[..5]);
+        assert_eq!(targets, vec![7; 5]);
+    }
+}

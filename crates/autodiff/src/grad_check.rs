@@ -1,0 +1,58 @@
+//! Finite-difference gradient checking, used throughout the workspace's
+//! test suites to validate analytic gradients.
+
+use gandef_tensor::Tensor;
+
+/// Central finite-difference gradient of a scalar function `f` at `x`.
+///
+/// Perturbs each coordinate by ±`eps` and returns
+/// `(f(x+εeᵢ) − f(x−εeᵢ)) / 2ε` per coordinate. Intended for tests: the
+/// cost is `2·numel(x)` evaluations of `f`.
+///
+/// # Example
+///
+/// ```
+/// use gandef_autodiff::numeric_grad;
+/// use gandef_tensor::Tensor;
+///
+/// let x = Tensor::from_vec(vec![2], vec![3.0, -1.0]);
+/// let g = numeric_grad(|t| t.square().sum(), &x, 1e-3);
+/// assert!((g.at(&[0]) - 6.0).abs() < 1e-2);
+/// assert!((g.at(&[1]) + 2.0).abs() < 1e-2);
+/// ```
+pub fn numeric_grad(f: impl Fn(&Tensor) -> f32, x: &Tensor, eps: f32) -> Tensor {
+    let mut probe = x.clone();
+    let mut grad = Tensor::zeros(x.shape().dims());
+    for i in 0..x.numel() {
+        let orig = probe.as_slice()[i];
+        probe.as_mut_slice()[i] = orig + eps;
+        let up = f(&probe);
+        probe.as_mut_slice()[i] = orig - eps;
+        let down = f(&probe);
+        probe.as_mut_slice()[i] = orig;
+        grad.as_mut_slice()[i] = (up - down) / (2.0 * eps);
+    }
+    grad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_gradient() {
+        let x = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]);
+        let g = numeric_grad(|t| t.square().sum(), &x, 1e-3);
+        assert!(g.allclose(
+            &Tensor::from_vec(vec![3], vec![2.0, 4.0, 6.0]),
+            1e-2
+        ));
+    }
+
+    #[test]
+    fn linear_gradient_is_constant() {
+        let x = Tensor::from_vec(vec![2], vec![5.0, -7.0]);
+        let g = numeric_grad(|t| 3.0 * t.sum(), &x, 1e-3);
+        assert!(g.allclose(&Tensor::full(&[2], 3.0), 1e-2));
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion benchmarks of adversarial-example generation cost per attack
+//! (§IV-C's generators) against a fixed LeNet — the "searching algorithm"
+//! factor the paper names as a main contributor to training time (§IV-E).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gandef_attack::{Attack, AttackBudget, Bim, CarliniWagner, DeepFool, Fgsm, Pgd};
+use gandef_data::{generate, DatasetKind, GenSpec};
+use gandef_tensor::rng::Prng;
+use std::hint::black_box;
+use zk_gandef::classifier_for;
+
+fn bench_attacks(c: &mut Criterion) {
+    let ds = generate(
+        DatasetKind::SynthDigits,
+        &GenSpec {
+            train: 10,
+            test: 16,
+            seed: 5,
+        },
+    );
+    let mut rng = Prng::new(0);
+    let net = classifier_for(DatasetKind::SynthDigits, &mut rng);
+    let b = AttackBudget::for_28x28();
+
+    let attacks: Vec<Box<dyn Attack>> = vec![
+        Box::new(Fgsm::new(b.eps)),
+        Box::new(Bim::new(b.eps, b.bim_step, b.bim_iters)),
+        Box::new(Pgd::new(b.eps, b.pgd_step, b.pgd_iters)),
+        Box::new(DeepFool::new(b.eps, 10)),
+        Box::new(CarliniWagner::new(b.eps, 40)),
+    ];
+
+    let mut group = c.benchmark_group("attack_16imgs");
+    group.sample_size(10);
+    for attack in attacks {
+        group.bench_function(attack.name(), |bench| {
+            bench.iter(|| {
+                let mut arng = Prng::new(1);
+                black_box(attack.perturb(&net, &ds.test_x, &ds.test_y, &mut arng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(attacks, bench_attacks);
+criterion_main!(attacks);

@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks for the tensor substrate's hot kernels:
+//! GEMM (all three variants), im2col convolution forward/backward, and the
+//! elementwise/broadcast paths every training step exercises.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gandef_tensor::conv::{self, ConvSpec};
+use gandef_tensor::rng::Prng;
+use gandef_tensor::{linalg, Tensor};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 128, 256] {
+        let mut rng = Prng::new(0);
+        let a = rng.uniform_tensor(&[n, n], -1.0, 1.0);
+        let b = rng.uniform_tensor(&[n, n], -1.0, 1.0);
+        group.bench_with_input(BenchmarkId::new("nn", n), &n, |bench, _| {
+            bench.iter(|| linalg::matmul(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("tn", n), &n, |bench, _| {
+            bench.iter(|| linalg::matmul_tn(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("nt", n), &n, |bench, _| {
+            bench.iter(|| linalg::matmul_nt(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d");
+    // LeNet's first layer geometry (batch 32, 28×28) and AllCNN's (32×32).
+    let cases = [
+        ("lenet_c1", 32usize, 1usize, 28usize, 16usize, 5usize, 1usize, 0usize),
+        ("allcnn_c1", 32, 3, 32, 16, 3, 1, 1),
+    ];
+    for (label, n, ci, hw, co, k, stride, pad) in cases {
+        let mut rng = Prng::new(0);
+        let x = rng.uniform_tensor(&[n, ci, hw, hw], -1.0, 1.0);
+        let w = rng.uniform_tensor(&[co, ci, k, k], -0.5, 0.5);
+        let spec = ConvSpec { stride, pad };
+        group.bench_function(BenchmarkId::new("forward", label), |bench| {
+            bench.iter(|| conv::conv2d(black_box(&x), black_box(&w), spec))
+        });
+        let (out, cols) = conv::conv2d(&x, &w, spec);
+        let dims: Vec<usize> = x.shape().dims().to_vec();
+        group.bench_function(BenchmarkId::new("backward", label), |bench| {
+            bench.iter(|| {
+                conv::conv2d_backward(black_box(&out), black_box(&cols), black_box(&w), &dims, spec)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elementwise");
+    let mut rng = Prng::new(0);
+    let a = rng.uniform_tensor(&[32, 3, 32, 32], -1.0, 1.0);
+    let b = rng.uniform_tensor(&[32, 3, 32, 32], -1.0, 1.0);
+    group.bench_function("add_same_shape", |bench| {
+        bench.iter(|| black_box(&a).add(black_box(&b)))
+    });
+    let bias = rng.uniform_tensor(&[3, 1, 1], -1.0, 1.0);
+    group.bench_function("add_broadcast_bias", |bench| {
+        bench.iter(|| black_box(&a).add(black_box(&bias)))
+    });
+    group.bench_function("relu", |bench| bench.iter(|| black_box(&a).relu()));
+    group.bench_function("softmax_rows", |bench| {
+        let z = rng.uniform_tensor(&[256, 10], -5.0, 5.0);
+        bench.iter(|| black_box(&z).softmax_rows())
+    });
+    let mut w = Tensor::zeros(&[32, 3, 32, 32]);
+    group.bench_function("axpy", |bench| {
+        bench.iter(|| w.axpy(black_box(-0.01), black_box(&a)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_conv, bench_elementwise
+}
+criterion_main!(kernels);

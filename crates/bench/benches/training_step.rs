@@ -1,0 +1,53 @@
+//! Criterion benchmarks of one *training step* per defense — the
+//! per-batch cost whose accumulation produces Figure 5's per-epoch times.
+//! Measured on a single batch of SynthDigits with the LeNet classifier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gandef_data::{generate, DatasetKind, GenSpec};
+use gandef_tensor::rng::Prng;
+use std::hint::black_box;
+use zk_gandef::defense::{AdvTraining, Clp, Cls, Defense, GanDef, Vanilla};
+use zk_gandef::{classifier_for, TrainConfig};
+
+/// One-epoch (= a few batches) training cost per defense. Criterion's
+/// per-iteration work is a full `train` call with 1 epoch over a small
+/// fixed dataset, so relative numbers mirror Figure 5's bars.
+fn bench_training_step(c: &mut Criterion) {
+    let ds = generate(
+        DatasetKind::SynthDigits,
+        &GenSpec {
+            train: 64,
+            test: 10,
+            seed: 3,
+        },
+    );
+    let mut cfg = TrainConfig::quick(DatasetKind::SynthDigits);
+    cfg.epochs = 1;
+    cfg.train_pgd_iters = 7;
+
+    let defenses: Vec<Box<dyn Defense>> = vec![
+        Box::new(Vanilla),
+        Box::new(Clp),
+        Box::new(Cls),
+        Box::new(GanDef::zero_knowledge()),
+        Box::new(AdvTraining::fgsm()),
+        Box::new(AdvTraining::pgd()),
+        Box::new(GanDef::pgd()),
+    ];
+
+    let mut group = c.benchmark_group("train_epoch_64imgs");
+    group.sample_size(10);
+    for defense in defenses {
+        group.bench_function(defense.name(), |bench| {
+            bench.iter(|| {
+                let mut rng = Prng::new(0);
+                let mut net = classifier_for(DatasetKind::SynthDigits, &mut rng);
+                black_box(defense.train(&mut net, &ds, &cfg, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(steps, bench_training_step);
+criterion_main!(steps);

@@ -1,0 +1,48 @@
+//! Discriminator-capacity ablation: the paper fixes the discriminator to
+//! Table II's `Dense 32/64/32/1` for every dataset (§IV-D-2) without
+//! justifying the size. This binary sweeps hidden widths and reports how
+//! capacity changes the game's outcome — classifier accuracy, logit
+//! invariance, and the discriminator's residual advantage.
+//!
+//! ```text
+//! cargo run --release -p gandef-bench --bin disc_capacity [-- --smoke ...]
+//! ```
+
+use gandef_bench::{train_defense, HarnessOpts};
+use gandef_data::{preprocess, DatasetKind};
+use gandef_tensor::rng::Prng;
+use zk_gandef::analysis::entropy_diagnostics;
+use zk_gandef::defense::GanDef;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let kind = DatasetKind::SynthDigits;
+    let ds = opts.dataset(kind);
+    let cfg = opts.config(kind);
+
+    let sweeps: Vec<(&str, Vec<usize>)> = vec![
+        ("tiny [8]", vec![8]),
+        ("narrow [16,16]", vec![16, 16]),
+        ("Table II [32,64,32]", vec![32, 64, 32]),
+        ("wide [128,128]", vec![128, 128]),
+    ];
+
+    let mut csv = String::from("widths,clean_acc,noisy_acc,disc_advantage_bits\n");
+    println!("discriminator | clean | noisy | D advantage (bits)");
+    for (label, widths) in sweeps {
+        let defense = GanDef::zero_knowledge().with_discriminator_widths(&widths);
+        let (net, report) = train_defense(&defense, &ds, &cfg, opts.seed);
+        let disc = report.discriminator.as_ref().expect("gan artifacts");
+        let clean = net.accuracy_on(&ds.test_x, &ds.test_y);
+        let mut prng = Prng::new(opts.seed ^ 0xDC);
+        let noisy = preprocess::gaussian_perturb(&ds.test_x, cfg.sigma, &mut prng);
+        let noisy_acc = net.accuracy_on(&noisy, &ds.test_y);
+        let adv = entropy_diagnostics(&net, disc, &ds.test_x, cfg.sigma, &mut prng)
+            .discriminator_advantage();
+        println!("{label:<22} | {clean:.3} | {noisy_acc:.3} | {adv:.3}");
+        csv.push_str(&format!(
+            "\"{label}\",{clean:.4},{noisy_acc:.4},{adv:.4}\n"
+        ));
+    }
+    opts.write_artifact("disc_capacity.csv", &csv);
+}

@@ -1,0 +1,81 @@
+//! Regenerates **Figure 5 (left & middle)**: training time per epoch of
+//! ZK-GanDef against the full-knowledge defenses, on a 28×28 dataset
+//! (left) and the 32×32 dataset (middle).
+//!
+//! Absolute seconds differ from the paper's GTX-1080 numbers; the claim
+//! under test is the *ordering and ratios*: ZK-GanDef ≈ FGSM-Adv ≪
+//! PGD-Adv < PGD-GanDef, and the headline "ZK-GanDef reduces training time
+//! by 92.11% / 51.53% versus PGD-Adv" (§V-C) directionally.
+//!
+//! ```text
+//! cargo run --release -p gandef-bench --bin fig5_time [-- --smoke ...]
+//! ```
+
+use gandef_bench::{dataset_label, train_defense, HarnessOpts};
+use gandef_data::DatasetKind;
+use zk_gandef::defense::{AdvTraining, Defense, GanDef, TrainReport};
+use zk_gandef::report::{reduction_percent, training_time_table};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    // Figure 5 compares only ZK-GanDef with the full-knowledge defenses
+    // (§V-C drops CLP/CLS because their accuracy disqualifies them).
+    let defenses: Vec<Box<dyn Defense>> = vec![
+        Box::new(GanDef::zero_knowledge()),
+        Box::new(AdvTraining::fgsm()),
+        Box::new(AdvTraining::pgd()),
+        Box::new(GanDef::pgd()),
+    ];
+
+    let mut md = String::from("# Figure 5 (left & middle) — Training Time per Epoch\n");
+    let mut csv = String::from("dataset,defense,seconds_per_epoch\n");
+
+    // Left panel: 28×28 (MNIST/Fashion-MNIST share size and classifier, so
+    // one dataset suffices, as in the paper). Middle panel: 32×32.
+    for kind in [DatasetKind::SynthDigits, DatasetKind::SynthCifar] {
+        let ds = opts.dataset(kind);
+        let mut cfg = opts.config(kind);
+        if !opts.paper_scale && !opts.smoke {
+            // Timing only needs a few epochs; keep the run short.
+            cfg.epochs = cfg.epochs.min(4);
+        }
+        let mut reports: Vec<TrainReport> = Vec::new();
+        for defense in &defenses {
+            let (_, report) = train_defense(defense.as_ref(), &ds, &cfg, opts.seed);
+            println!(
+                "{} / {}: {:.2}s per epoch",
+                dataset_label(kind),
+                report.defense,
+                report.mean_epoch_seconds()
+            );
+            csv.push_str(&format!(
+                "{},{},{:.4}\n",
+                dataset_label(kind),
+                report.defense,
+                report.mean_epoch_seconds()
+            ));
+            reports.push(report);
+        }
+        let refs: Vec<&TrainReport> = reports.iter().collect();
+        md.push_str(&training_time_table(dataset_label(kind), &refs));
+
+        let zk = reports[0].mean_epoch_seconds();
+        let pgd_adv = reports[2].mean_epoch_seconds();
+        let red = reduction_percent(zk, pgd_adv);
+        let line = format!(
+            "\nZK-GanDef vs PGD-Adv on {}: {:.2}% training-time reduction (paper: {}%)\n",
+            dataset_label(kind),
+            red,
+            if kind == DatasetKind::SynthCifar {
+                "51.53"
+            } else {
+                "92.11"
+            }
+        );
+        println!("{line}");
+        md.push_str(&line);
+    }
+
+    opts.write_artifact("fig5_time.md", &md);
+    opts.write_artifact("fig5_time.csv", &csv);
+}

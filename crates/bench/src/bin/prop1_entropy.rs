@@ -1,0 +1,85 @@
+//! Proposition-1 diagnostics (§III-D): tracks how close the trained
+//! classifier gets to the theoretical optimum `H(S|Z) = H(S)` — i.e.
+//! perturbation-invariant logits — as training proceeds.
+//!
+//! For each checkpoint (epoch budget) we train ZK-GanDef from scratch,
+//! then measure the *returned* discriminator's advantage on held-out data,
+//! and also the advantage of a *fresh* discriminator trained post-hoc
+//! against the frozen classifier (a stronger adversary: it cannot have
+//! been fooled during the game).
+//!
+//! Expected shape: advantage shrinks with training; the post-hoc probe
+//! stays ≥ the in-game discriminator.
+//!
+//! ```text
+//! cargo run --release -p gandef-bench --bin prop1_entropy [-- --smoke ...]
+//! ```
+
+use gandef_bench::{train_defense, HarnessOpts};
+use gandef_data::{preprocess, DatasetKind};
+use gandef_nn::optim::{Adam, Optimizer};
+use gandef_nn::{zoo, Mode, Net, Session};
+use gandef_tensor::rng::Prng;
+use gandef_tensor::Tensor;
+use zk_gandef::analysis::entropy_diagnostics;
+use zk_gandef::defense::GanDef;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let kind = DatasetKind::SynthDigits;
+    let ds = opts.dataset(kind);
+    let base = opts.config(kind);
+    let budgets: Vec<usize> = if opts.smoke {
+        vec![1, 2]
+    } else {
+        vec![2, 5, 10, base.epochs.max(15)]
+    };
+
+    let mut csv = String::from("epochs,in_game_advantage_bits,post_hoc_advantage_bits\n");
+    println!("epochs | in-game D advantage | post-hoc D advantage (bits)");
+    for &epochs in &budgets {
+        let mut cfg = base.clone();
+        cfg.epochs = epochs;
+        let defense = GanDef::zero_knowledge();
+        let (net, report) = train_defense(&defense, &ds, &cfg, opts.seed);
+        let disc = report.discriminator.as_ref().expect("gan artifacts");
+
+        let mut prng = Prng::new(opts.seed ^ 0xE7);
+        let in_game = entropy_diagnostics(&net, disc, &ds.test_x, cfg.sigma, &mut prng)
+            .discriminator_advantage();
+
+        let probe = train_posthoc_probe(&net, &ds.train_x, cfg.sigma, opts.seed);
+        let post_hoc = entropy_diagnostics(&net, &probe, &ds.test_x, cfg.sigma, &mut prng)
+            .discriminator_advantage();
+
+        println!("{epochs:>6} | {in_game:.4} | {post_hoc:.4}");
+        csv.push_str(&format!("{epochs},{in_game:.4},{post_hoc:.4}\n"));
+    }
+    opts.write_artifact("prop1_entropy.csv", &csv);
+}
+
+/// Trains a fresh Table-II discriminator against the *frozen* classifier:
+/// the strongest simple estimate of the residual source information in the
+/// logits.
+fn train_posthoc_probe(classifier: &Net, train_x: &Tensor, sigma: f32, seed: u64) -> Net {
+    use gandef_nn::Classifier;
+    let mut rng = Prng::new(seed ^ 0xF0B);
+    let mut disc = Net::with_classes(zoo::discriminator(10), 1, &mut rng);
+    let mut opt = Adam::new(0.001);
+    let n = train_x.dim(0).min(512);
+    let x = train_x.slice_rows(0, n);
+    for _ in 0..30 {
+        let perturbed = preprocess::gaussian_perturb(&x, sigma, &mut rng);
+        let z_clean = classifier.logits(&x);
+        let z_pert = classifier.logits(&perturbed);
+        let z = Tensor::concat_rows(&[&z_clean, &z_pert]);
+        let s = Tensor::from_fn(&[2 * n, 1], |i| if i < n { 0.0 } else { 1.0 });
+        let mut sess = Session::new(&disc.params, Mode::Train, rng.fork(1));
+        let zv = sess.input(z);
+        let out = disc.model.forward(&mut sess, zv);
+        let loss = sess.tape.bce_with_logits(out, &s);
+        let grads = sess.backward(loss);
+        opt.step(&mut disc.params, &grads);
+    }
+    disc
+}

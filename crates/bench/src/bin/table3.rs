@@ -1,0 +1,79 @@
+//! Regenerates **Table III** (and the data behind **Figure 4**): test
+//! accuracy of all seven classifiers on original, FGSM, BIM and PGD
+//! examples across the three datasets.
+//!
+//! ```text
+//! cargo run --release -p gandef-bench --bin table3 [-- --smoke|--paper-scale ...]
+//! ```
+//!
+//! Prints the per-dataset markdown tables (the paper's Table III layout)
+//! and writes `table3.md` plus `fig4.csv` (one row per cell — the series
+//! Figure 4 plots) under the output directory.
+
+use gandef_bench::{all_defenses, dataset_label, train_defense, HarnessOpts};
+use gandef_data::DatasetKind;
+use gandef_tensor::rng::Prng;
+use zk_gandef::eval::{evaluate, standard_attacks, AccuracyGrid, TABLE3_EXAMPLES};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let mut grid = AccuracyGrid::new();
+
+    for kind in DatasetKind::ALL {
+        let ds = opts.dataset(kind);
+        let cfg = opts.config(kind);
+        let attacks = standard_attacks(&cfg.budget);
+        println!(
+            "=== {} (train {}, test {}, {} epochs) ===",
+            dataset_label(kind),
+            ds.train_y.len(),
+            ds.test_y.len(),
+            cfg.epochs
+        );
+        for defense in all_defenses() {
+            let t0 = std::time::Instant::now();
+            let (net, report) = train_defense(defense.as_ref(), &ds, &cfg, opts.seed);
+            let mut arng = Prng::new(opts.seed ^ 0xA77A);
+            let rows = evaluate(&net, &attacks, &ds.test_x, &ds.test_y, &mut arng);
+            print!("  {:<11}", defense.name());
+            for (example, acc) in &rows {
+                grid.record(defense.name(), dataset_label(kind), example, *acc);
+                print!(" {}={:>6.2}%", example, acc * 100.0);
+            }
+            println!(
+                "  [{:.0}s train, {:.0}s total, loss {:.3}]",
+                report.total_seconds(),
+                t0.elapsed().as_secs_f64(),
+                report.final_loss()
+            );
+        }
+    }
+
+    let md = format!(
+        "# Table III — Test Accuracy on Different Examples\n{}",
+        grid.to_markdown(&TABLE3_EXAMPLES)
+    );
+    println!("\n{md}");
+    opts.write_artifact("table3.md", &md);
+    opts.write_artifact("fig4.csv", &grid.to_csv());
+
+    summarize(&grid);
+}
+
+/// Prints the ordinal checks the paper's narrative rests on (EXPERIMENTS.md
+/// records these against the paper's own numbers).
+fn summarize(grid: &AccuracyGrid) {
+    println!("\n--- shape checks (paper §V-A) ---");
+    for dataset in grid.datasets() {
+        let get = |d: &str, e: &str| grid.get(d, &dataset, e).unwrap_or(f32::NAN);
+        println!(
+            "{dataset}: Vanilla PGD {:.1}% | ZK-GanDef vs CLP/CLS on PGD: {:.1}% vs {:.1}%/{:.1}% | ZK vs PGD-Adv on PGD: {:.1}% vs {:.1}%",
+            get("Vanilla", "PGD") * 100.0,
+            get("ZK-GanDef", "PGD") * 100.0,
+            get("CLP", "PGD") * 100.0,
+            get("CLS", "PGD") * 100.0,
+            get("ZK-GanDef", "PGD") * 100.0,
+            get("PGD-Adv", "PGD") * 100.0,
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! The Defense module of the paper's evaluation framework (Figure 3):
+//! seven trainers sharing one interface.
+//!
+//! | Implementation | Paper name | Knowledge | Training inputs |
+//! |---|---|---|---|
+//! | [`Vanilla`] | Vanilla | — | clean |
+//! | [`Clp`] | CLP \[7\] | zero | Gaussian-perturbed pairs |
+//! | [`Cls`] | CLS \[7\] | zero | Gaussian-perturbed |
+//! | [`GanDef::zero_knowledge`] | ZK-GanDef (this paper) | zero | clean + Gaussian-perturbed |
+//! | [`AdvTraining::fgsm`] | FGSM-Adv \[6\] | full | clean + FGSM |
+//! | [`AdvTraining::pgd`] | PGD-Adv \[14\] | full | clean + PGD |
+//! | [`GanDef::pgd`] | PGD-GanDef | full | clean + PGD |
+
+mod adv;
+mod clp;
+mod cls;
+mod gan;
+mod vanilla;
+
+pub use adv::AdvTraining;
+pub use clp::Clp;
+pub use cls::Cls;
+pub use gan::{GanDef, NoiseKind};
+pub use vanilla::Vanilla;
+
+use crate::TrainConfig;
+use gandef_data::Dataset;
+use gandef_nn::Net;
+use gandef_tensor::rng::Prng;
+use std::time::Instant;
+
+/// A defense: a training procedure applied to a classifier.
+pub trait Defense {
+    /// Display name matching the paper ("CLP", "ZK-GanDef", ...).
+    fn name(&self) -> &'static str;
+
+    /// Trains `net` in place on the dataset's training split, returning
+    /// per-epoch timing and loss traces.
+    fn train(&self, net: &mut Net, ds: &Dataset, cfg: &TrainConfig, rng: &mut Prng)
+        -> TrainReport;
+}
+
+/// Per-epoch record of a defense-training run: the raw material behind
+/// Figure 5 (training time per epoch; loss convergence traces).
+#[derive(Debug)]
+pub struct TrainReport {
+    /// Defense display name.
+    pub defense: &'static str,
+    /// Wall-clock seconds per epoch.
+    pub epoch_seconds: Vec<f64>,
+    /// Mean training loss per epoch (whatever loss the defense minimizes).
+    pub epoch_losses: Vec<f32>,
+    /// The trained discriminator, for GAN defenses (used by
+    /// [`crate::analysis`]).
+    pub discriminator: Option<Net>,
+}
+
+impl TrainReport {
+    pub(crate) fn new(defense: &'static str) -> Self {
+        TrainReport {
+            defense,
+            epoch_seconds: Vec::new(),
+            epoch_losses: Vec::new(),
+            discriminator: None,
+        }
+    }
+
+    /// Mean wall-clock seconds per epoch — the Figure-5 metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no epochs were recorded.
+    pub fn mean_epoch_seconds(&self) -> f64 {
+        assert!(!self.epoch_seconds.is_empty(), "no epochs recorded");
+        self.epoch_seconds.iter().sum::<f64>() / self.epoch_seconds.len() as f64
+    }
+
+    /// Total wall-clock training seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.epoch_seconds.iter().sum()
+    }
+
+    /// Final epoch's mean loss (NaN if training diverged — the CLP failure
+    /// mode of §V-D).
+    pub fn final_loss(&self) -> f32 {
+        *self.epoch_losses.last().unwrap_or(&f32::NAN)
+    }
+
+    /// Whether the loss failed to converge: it ended NaN (divergence) or
+    /// never dropped meaningfully below its starting point (the flat CLS
+    /// curves of Figure 5 right). `tolerance` is the required relative
+    /// improvement, e.g. `0.05` for 5%.
+    pub fn failed_to_converge(&self, tolerance: f32) -> bool {
+        let last = self.final_loss();
+        if !last.is_finite() {
+            return true;
+        }
+        let first = match self.epoch_losses.first() {
+            Some(&f) if f.is_finite() => f,
+            _ => return true,
+        };
+        last > first * (1.0 - tolerance)
+    }
+}
+
+/// Measures one epoch: runs `body`, returns `(seconds, mean loss)`.
+pub(crate) fn timed_epoch(body: impl FnOnce() -> f32) -> (f64, f32) {
+    let start = Instant::now();
+    let loss = body();
+    (start.elapsed().as_secs_f64(), loss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_statistics() {
+        let mut r = TrainReport::new("X");
+        r.epoch_seconds = vec![1.0, 3.0];
+        r.epoch_losses = vec![2.0, 1.0];
+        assert_eq!(r.mean_epoch_seconds(), 2.0);
+        assert_eq!(r.total_seconds(), 4.0);
+        assert_eq!(r.final_loss(), 1.0);
+        assert!(!r.failed_to_converge(0.05));
+    }
+
+    #[test]
+    fn convergence_detection() {
+        let mut flat = TrainReport::new("flat");
+        flat.epoch_losses = vec![2.3, 2.31, 2.29, 2.30];
+        assert!(flat.failed_to_converge(0.05));
+
+        let mut nan = TrainReport::new("nan");
+        nan.epoch_losses = vec![2.3, f32::NAN];
+        assert!(nan.failed_to_converge(0.05));
+
+        let mut good = TrainReport::new("good");
+        good.epoch_losses = vec![2.3, 1.0, 0.4];
+        assert!(!good.failed_to_converge(0.05));
+    }
+
+    #[test]
+    fn timed_epoch_passes_loss_through() {
+        let (secs, loss) = timed_epoch(|| 1.25);
+        assert!(secs >= 0.0);
+        assert_eq!(loss, 1.25);
+    }
+}

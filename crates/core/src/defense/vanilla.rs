@@ -1,0 +1,82 @@
+//! The undefended baseline: plain supervised training on clean images.
+
+use super::{timed_epoch, Defense, TrainReport};
+use crate::TrainConfig;
+use gandef_data::{batches, Dataset};
+use gandef_nn::optim::{Adam, Optimizer};
+use gandef_nn::{one_hot, Mode, Net, Session};
+use gandef_tensor::rng::Prng;
+
+/// The Vanilla classifier: softmax cross-entropy on clean inputs, no
+/// defense. Table III row 1.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Vanilla;
+
+impl Defense for Vanilla {
+    fn name(&self) -> &'static str {
+        "Vanilla"
+    }
+
+    fn train(
+        &self,
+        net: &mut Net,
+        ds: &Dataset,
+        cfg: &TrainConfig,
+        rng: &mut Prng,
+    ) -> TrainReport {
+        let classes = ds.kind.classes();
+        let mut opt = Adam::new(cfg.lr);
+        let mut report = TrainReport::new(self.name());
+        for _ in 0..cfg.epochs {
+            let (secs, loss) = timed_epoch(|| {
+                let mut loss_sum = 0.0;
+                let mut batches_seen = 0;
+                for (xb, yb) in batches(&ds.train_x, &ds.train_y, cfg.batch, rng) {
+                    let mut sess = Session::new(&net.params, Mode::Train, rng.fork(0xC1));
+                    let x = sess.input(xb);
+                    let z = net.model.forward(&mut sess, x);
+                    let loss = sess.tape.softmax_cross_entropy(z, &one_hot(&yb, classes));
+                    loss_sum += sess.tape.value(loss).item();
+                    batches_seen += 1;
+                    let grads = sess.backward(loss);
+                    opt.step(&mut net.params, &grads);
+                }
+                loss_sum / batches_seen as f32
+            });
+            report.epoch_seconds.push(secs);
+            report.epoch_losses.push(loss);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gandef_data::{generate, DatasetKind, GenSpec};
+    use gandef_nn::{zoo, Net};
+
+    #[test]
+    fn vanilla_learns_digits() {
+        let ds = generate(
+            DatasetKind::SynthDigits,
+            &GenSpec {
+                train: 300,
+                test: 60,
+                seed: 1,
+            },
+        );
+        let mut rng = Prng::new(0);
+        let mut net = Net::new(zoo::mlp(28 * 28, 48, 10), &mut rng);
+        let mut cfg = TrainConfig::quick(DatasetKind::SynthDigits);
+        cfg.epochs = 10;
+        cfg.lr = 0.003;
+        let report = Vanilla.train(&mut net, &ds, &cfg, &mut rng);
+        assert_eq!(report.epoch_losses.len(), 10);
+        assert!(!report.failed_to_converge(0.05));
+        assert!(
+            net.accuracy_on(&ds.test_x, &ds.test_y) > 0.7,
+            "vanilla failed to learn"
+        );
+    }
+}

@@ -1,0 +1,360 @@
+//! The evaluation framework of Figure 3 and §IV-E: preprocessing, attack
+//! and defense modules plug together to measure *test accuracy* per
+//! (defense, example-type) pair — the data behind Table III, Table IV and
+//! Figure 4.
+
+use gandef_attack::{
+    perturb_chunked, Attack, AttackBudget, Bim, CarliniWagner, DeepFool, Fgsm, Pgd,
+};
+use gandef_nn::{accuracy, Classifier, Net};
+use gandef_tensor::rng::Prng;
+use gandef_tensor::Tensor;
+use std::fmt;
+
+/// Rows attacked per chunk during evaluation (memory bound).
+const EVAL_CHUNK: usize = 32;
+
+/// The four example types of Table III, in column order.
+pub const TABLE3_EXAMPLES: [&str; 4] = ["Original", "FGSM", "BIM", "PGD"];
+
+/// The two extra generators of Table IV.
+pub const TABLE4_EXAMPLES: [&str; 2] = ["Deepfool", "CW"];
+
+/// Builds the §IV-C attack set used by Table III: FGSM, BIM and PGD with
+/// the dataset's budget.
+pub fn standard_attacks(budget: &AttackBudget) -> Vec<Box<dyn Attack>> {
+    vec![
+        Box::new(Fgsm::new(budget.eps)),
+        Box::new(Bim::new(budget.eps, budget.bim_step, budget.bim_iters)),
+        Box::new(Pgd::new(budget.eps, budget.pgd_step, budget.pgd_iters)),
+    ]
+}
+
+/// Builds the §V-B generalizability attack set used by Table IV: DeepFool
+/// and CW, sharing PGD's budget as the paper specifies.
+pub fn extended_attacks(budget: &AttackBudget) -> Vec<Box<dyn Attack>> {
+    vec![
+        Box::new(DeepFool::new(budget.eps, budget.pgd_iters.min(15))),
+        // Fixed c = 10 approximates the strong end of the paper's CW
+        // binary search (DESIGN.md §7) without its 9× cost.
+        Box::new(CarliniWagner::new(budget.eps, budget.pgd_iters * 2).with_c(10.0)),
+    ]
+}
+
+/// Test accuracy (§IV-E) of `net` on clean inputs and on each attack's
+/// adversarial counterparts. Returns `(example_name, accuracy)` pairs,
+/// starting with `"Original"`.
+///
+/// Every original example gets "its own corresponding adversarial
+/// counterparts" (§IV-C): attacks run white-box against `net` itself.
+pub fn evaluate(
+    net: &Net,
+    attacks: &[Box<dyn Attack>],
+    x: &Tensor,
+    labels: &[usize],
+    rng: &mut Prng,
+) -> Vec<(String, f32)> {
+    let mut out = Vec::with_capacity(attacks.len() + 1);
+    out.push(("Original".to_string(), accuracy(&net.predict(x), labels)));
+    for attack in attacks {
+        let adv = perturb_chunked(attack.as_ref(), net, x, labels, EVAL_CHUNK, rng);
+        out.push((
+            attack.name().to_string(),
+            accuracy(&net.predict(&adv), labels),
+        ));
+    }
+    out
+}
+
+/// One cell of the Table-III / Figure-4 accuracy grid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cell {
+    /// Defense display name ("Vanilla", "ZK-GanDef", ...).
+    pub defense: String,
+    /// Dataset display name.
+    pub dataset: String,
+    /// Example type ("Original", "FGSM", ...).
+    pub example: String,
+    /// Test accuracy in `[0, 1]`.
+    pub accuracy: f32,
+}
+
+/// The full accuracy grid: defenses × example types × datasets.
+///
+/// This is the data structure the `table3` harness fills and renders; the
+/// odd/even rows of Figure 4 are just per-dataset slices of it.
+#[derive(Clone, Debug, Default)]
+pub struct AccuracyGrid {
+    cells: Vec<Cell>,
+}
+
+impl AccuracyGrid {
+    /// Creates an empty grid.
+    pub fn new() -> Self {
+        AccuracyGrid::default()
+    }
+
+    /// Records one measurement.
+    pub fn record(&mut self, defense: &str, dataset: &str, example: &str, accuracy: f32) {
+        self.cells.push(Cell {
+            defense: defense.to_string(),
+            dataset: dataset.to_string(),
+            example: example.to_string(),
+            accuracy,
+        });
+    }
+
+    /// Looks up a cell's accuracy.
+    pub fn get(&self, defense: &str, dataset: &str, example: &str) -> Option<f32> {
+        self.cells
+            .iter()
+            .find(|c| c.defense == defense && c.dataset == dataset && c.example == example)
+            .map(|c| c.accuracy)
+    }
+
+    /// All recorded cells.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Distinct defense names in insertion order.
+    pub fn defenses(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for c in &self.cells {
+            if !seen.contains(&c.defense) {
+                seen.push(c.defense.clone());
+            }
+        }
+        seen
+    }
+
+    /// Distinct dataset names in insertion order.
+    pub fn datasets(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for c in &self.cells {
+            if !seen.contains(&c.dataset) {
+                seen.push(c.dataset.clone());
+            }
+        }
+        seen
+    }
+
+    /// Renders the grid in the layout of the paper's Table III: one block
+    /// per dataset, defenses as rows, example types as columns.
+    pub fn to_markdown(&self, examples: &[&str]) -> String {
+        let mut out = String::new();
+        for dataset in self.datasets() {
+            out.push_str(&format!("\n### {dataset}\n\n"));
+            out.push_str(&format!("| Defense | {} |\n", examples.join(" | ")));
+            out.push_str(&format!("|---|{}\n", "---|".repeat(examples.len())));
+            for defense in self.defenses() {
+                let row: Vec<String> = examples
+                    .iter()
+                    .map(|e| match self.get(&defense, &dataset, e) {
+                        Some(a) => format!("{:.2}%", a * 100.0),
+                        None => "—".to_string(),
+                    })
+                    .collect();
+                out.push_str(&format!("| {} | {} |\n", defense, row.join(" | ")));
+            }
+        }
+        out
+    }
+
+    /// Renders the grid as CSV (`defense,dataset,example,accuracy`), for
+    /// plotting Figure 4.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("defense,dataset,example,accuracy\n");
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{},{},{},{:.4}\n",
+                c.defense, c.dataset, c.example, c.accuracy
+            ));
+        }
+        out
+    }
+}
+
+/// A confusion matrix (rows = ground truth, columns = prediction) —
+/// finer-grained than §IV-E's scalar test accuracy; useful for seeing
+/// *where* a defense trades clean accuracy (e.g. which garment classes CLS
+/// merges when its logits are squeezed).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Builds a matrix from parallel prediction/label slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ, are zero, or any entry is `>= classes`.
+    pub fn from_predictions(predictions: &[usize], labels: &[usize], classes: usize) -> Self {
+        assert_eq!(predictions.len(), labels.len(), "length mismatch");
+        assert!(!labels.is_empty(), "empty evaluation set");
+        let mut counts = vec![0usize; classes * classes];
+        for (&p, &t) in predictions.iter().zip(labels) {
+            assert!(p < classes && t < classes, "class index out of range");
+            counts[t * classes + p] += 1;
+        }
+        ConfusionMatrix { classes, counts }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Count of samples with ground truth `truth` predicted as `pred`.
+    pub fn count(&self, truth: usize, pred: usize) -> usize {
+        self.counts[truth * self.classes + pred]
+    }
+
+    /// Overall accuracy (trace over total).
+    pub fn accuracy(&self) -> f32 {
+        let correct: usize = (0..self.classes).map(|c| self.count(c, c)).sum();
+        let total: usize = self.counts.iter().sum();
+        correct as f32 / total as f32
+    }
+
+    /// Per-class recall (`None` for classes absent from the labels).
+    pub fn per_class_recall(&self) -> Vec<Option<f32>> {
+        (0..self.classes)
+            .map(|t| {
+                let row: usize = (0..self.classes).map(|p| self.count(t, p)).sum();
+                if row == 0 {
+                    None
+                } else {
+                    Some(self.count(t, t) as f32 / row as f32)
+                }
+            })
+            .collect()
+    }
+
+    /// The most confused (truth, prediction) off-diagonal pair, if any
+    /// misclassification happened.
+    pub fn worst_confusion(&self) -> Option<(usize, usize, usize)> {
+        let mut best: Option<(usize, usize, usize)> = None;
+        for t in 0..self.classes {
+            for p in 0..self.classes {
+                if t != p && self.count(t, p) > 0 {
+                    let c = self.count(t, p);
+                    if best.is_none_or(|(_, _, bc)| c > bc) {
+                        best = Some((t, p, c));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Renders the matrix as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("| truth \\ pred |");
+        for p in 0..self.classes {
+            out.push_str(&format!(" {p} |"));
+        }
+        out.push('\n');
+        out.push_str(&format!("|---|{}\n", "---|".repeat(self.classes)));
+        for t in 0..self.classes {
+            out.push_str(&format!("| **{t}** |"));
+            for p in 0..self.classes {
+                out.push_str(&format!(" {} |", self.count(t, p)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for AccuracyGrid {
+    /// Renders with the Table-III column set.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown(&TABLE3_EXAMPLES))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gandef_data::{generate, DatasetKind, GenSpec};
+    use gandef_nn::zoo;
+
+    #[test]
+    fn attack_sets_have_expected_names() {
+        let b = AttackBudget::for_28x28();
+        let std: Vec<&str> = standard_attacks(&b).iter().map(|a| a.name().to_string()).map(|s| Box::leak(s.into_boxed_str()) as &str).collect();
+        assert_eq!(std, vec!["FGSM", "BIM", "PGD"]);
+        let ext: Vec<String> = extended_attacks(&b).iter().map(|a| a.name().to_string()).collect();
+        assert_eq!(ext, vec!["DeepFool", "CW"]);
+    }
+
+    #[test]
+    fn evaluate_reports_original_first_and_bounded() {
+        let ds = generate(
+            DatasetKind::SynthDigits,
+            &GenSpec {
+                train: 10,
+                test: 8,
+                seed: 0,
+            },
+        );
+        let mut rng = Prng::new(0);
+        let net = Net::new(zoo::mlp(28 * 28, 16, 10), &mut rng);
+        let b = AttackBudget::for_28x28();
+        let attacks: Vec<Box<dyn Attack>> = vec![Box::new(Fgsm::new(b.eps))];
+        let rows = evaluate(&net, &attacks, &ds.test_x, &ds.test_y, &mut rng);
+        assert_eq!(rows[0].0, "Original");
+        assert_eq!(rows[1].0, "FGSM");
+        for (_, acc) in rows {
+            assert!((0.0..=1.0).contains(&acc));
+        }
+    }
+
+    #[test]
+    fn confusion_matrix_counts_and_stats() {
+        let preds = [0usize, 1, 1, 2, 2, 2];
+        let labels = [0usize, 1, 2, 2, 2, 0];
+        let m = ConfusionMatrix::from_predictions(&preds, &labels, 3);
+        assert_eq!(m.count(0, 0), 1);
+        assert_eq!(m.count(2, 1), 1);
+        assert_eq!(m.count(0, 2), 1);
+        assert_eq!(m.accuracy(), 4.0 / 6.0);
+        let recall = m.per_class_recall();
+        assert_eq!(recall[0], Some(0.5));
+        assert_eq!(recall[1], Some(1.0));
+        assert_eq!(recall[2], Some(2.0 / 3.0));
+        let (t, p, c) = m.worst_confusion().unwrap();
+        assert!(c == 1 && t != p);
+        assert!(m.to_markdown().contains("| **0** |"));
+    }
+
+    #[test]
+    fn confusion_matrix_perfect_predictions() {
+        let labels = [0usize, 1, 2, 1];
+        let m = ConfusionMatrix::from_predictions(&labels, &labels, 3);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.worst_confusion(), None);
+        assert_eq!(m.classes(), 3);
+    }
+
+    #[test]
+    fn grid_roundtrip_and_rendering() {
+        let mut g = AccuracyGrid::new();
+        g.record("Vanilla", "MNIST-like", "Original", 0.989);
+        g.record("Vanilla", "MNIST-like", "FGSM", 0.21);
+        g.record("ZK-GanDef", "MNIST-like", "Original", 0.98);
+        assert_eq!(g.get("Vanilla", "MNIST-like", "FGSM"), Some(0.21));
+        assert_eq!(g.get("Nope", "MNIST-like", "FGSM"), None);
+        assert_eq!(g.defenses(), vec!["Vanilla", "ZK-GanDef"]);
+        let md = g.to_markdown(&["Original", "FGSM"]);
+        assert!(md.contains("98.90%"));
+        assert!(md.contains("| Vanilla |"));
+        assert!(md.contains("—"), "missing cells render as dashes");
+        let csv = g.to_csv();
+        assert!(csv.starts_with("defense,dataset,example,accuracy\n"));
+        assert!(csv.contains("Vanilla,MNIST-like,FGSM,0.2100"));
+    }
+}

@@ -1,0 +1,93 @@
+//! # ZK-GanDef — GAN-based zero-knowledge adversarial training
+//!
+//! Rust reproduction of *"ZK-GanDef: A GAN based Zero Knowledge Adversarial
+//! Training Defense for Neural Networks"* (Liu, Khalil, Khreishah — DSN
+//! 2019, arXiv:1904.08516).
+//!
+//! The paper's idea: instead of training against expensive true adversarial
+//! examples (full-knowledge defenses) or against Gaussian noise with a
+//! hand-crafted logit penalty (CLP / CLS), train the classifier `C` jointly
+//! with a discriminator `D` that reads `C`'s pre-softmax logits and guesses
+//! whether the input was clean or perturbed. The minimax game
+//!
+//! ```text
+//! min_C max_D  E[−log q_C(z|x)] − γ·E[−log q_D(s|z = C(x))]
+//! ```
+//!
+//! pushes `C` toward **perturbation-invariant features** (Proposition 1 of
+//! the paper: at the optimum, `S ⟂ Z` and `C` is an optimal classifier).
+//!
+//! This crate implements the paper's Defense module (Figure 3) and
+//! everything §V evaluates:
+//!
+//! * [`defense::Vanilla`] — undefended baseline
+//! * [`defense::Clp`], [`defense::Cls`] — the existing zero-knowledge
+//!   defenses (Kannan et al.), Figure 2a/2b
+//! * [`defense::GanDef`] — ZK-GanDef (Gaussian source) and PGD-GanDef
+//!   (PGD source), Figure 2c + Algorithm 1
+//! * [`defense::AdvTraining`] — FGSM-Adv and PGD-Adv full-knowledge
+//!   baselines
+//! * [`eval`] — the plug-in evaluation framework of Figure 3 and the
+//!   accuracy grid behind Table III / Figure 4
+//! * [`analysis`] — Proposition-1 entropy diagnostics
+//! * [`report`] — table rendering for the benchmark harness
+//!
+//! # Example
+//!
+//! ```no_run
+//! use gandef_data::{generate, DatasetKind, GenSpec};
+//! use gandef_tensor::rng::Prng;
+//! use zk_gandef::defense::{Defense, GanDef};
+//! use zk_gandef::TrainConfig;
+//!
+//! let ds = generate(DatasetKind::SynthDigits, &GenSpec::default());
+//! let cfg = TrainConfig::quick(DatasetKind::SynthDigits);
+//! let mut rng = Prng::new(0);
+//! let defense = GanDef::zero_knowledge();
+//! let mut net = zk_gandef::classifier_for(DatasetKind::SynthDigits, &mut rng);
+//! let report = defense.train(&mut net, &ds, &cfg, &mut rng);
+//! println!("trained in {:.1}s", report.total_seconds());
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod analysis;
+pub mod defense;
+pub mod eval;
+pub mod report;
+
+mod config;
+
+pub use config::TrainConfig;
+
+use gandef_data::DatasetKind;
+use gandef_nn::{zoo, Net};
+use gandef_tensor::rng::Prng;
+
+/// Builds the paper's classifier architecture for a dataset (§IV-D-1):
+/// LeNet for the 28×28 datasets, AllCNN with input dropout for the 32×32
+/// dataset. All defenses share this structure with the Vanilla classifier.
+pub fn classifier_for(kind: DatasetKind, rng: &mut Prng) -> Net {
+    let model = match kind {
+        DatasetKind::SynthCifar => zoo::allcnn(kind.channels(), 0.2),
+        _ => zoo::lenet(kind.channels()),
+    };
+    Net::new(model, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gandef_tensor::Tensor;
+
+    #[test]
+    fn classifier_for_matches_dataset_geometry() {
+        use gandef_nn::Classifier;
+        let mut rng = Prng::new(0);
+        for kind in DatasetKind::ALL {
+            let net = classifier_for(kind, &mut rng);
+            let x = Tensor::zeros(&[1, kind.channels(), kind.side(), kind.side()]);
+            assert_eq!(net.logits(&x).shape().dims(), &[1, 10], "{kind}");
+        }
+    }
+}

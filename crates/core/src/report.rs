@@ -1,0 +1,91 @@
+//! Rendering helpers for the benchmark harness: markdown tables and CSV
+//! series matching the paper's artifacts.
+
+use crate::defense::TrainReport;
+
+/// Renders Figure 5's left/middle panels as a markdown table: training
+/// time per epoch for each defense.
+pub fn training_time_table(title: &str, reports: &[&TrainReport]) -> String {
+    let mut out = format!("\n### {title}\n\n| Defense | s/epoch | total s | final loss |\n|---|---|---|---|\n");
+    for r in reports {
+        out.push_str(&format!(
+            "| {} | {:.2} | {:.1} | {:.3} |\n",
+            r.defense,
+            r.mean_epoch_seconds(),
+            r.total_seconds(),
+            r.final_loss()
+        ));
+    }
+    out
+}
+
+/// Renders loss-convergence traces (Figure 5 right) as CSV: one column per
+/// labelled run, one row per epoch.
+pub fn loss_trace_csv(traces: &[(String, &[f32])]) -> String {
+    let mut out = String::from("epoch");
+    for (label, _) in traces {
+        out.push(',');
+        out.push_str(label);
+    }
+    out.push('\n');
+    let rows = traces.iter().map(|(_, t)| t.len()).max().unwrap_or(0);
+    for e in 0..rows {
+        out.push_str(&e.to_string());
+        for (_, t) in traces {
+            match t.get(e) {
+                Some(v) => out.push_str(&format!(",{v:.4}")),
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a ratio as the paper does ("92.11% less than PGD-Adv").
+pub fn reduction_percent(ours: f64, theirs: f64) -> f64 {
+    if theirs <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - ours / theirs) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(name: &'static str, secs: &[f64], losses: &[f32]) -> TrainReport {
+        let mut r = TrainReport::new(name);
+        r.epoch_seconds = secs.to_vec();
+        r.epoch_losses = losses.to_vec();
+        r
+    }
+
+    #[test]
+    fn time_table_lists_all_defenses() {
+        let a = report("ZK-GanDef", &[1.0, 1.2], &[2.0, 1.0]);
+        let b = report("PGD-Adv", &[10.0, 10.4], &[2.0, 0.9]);
+        let md = training_time_table("28x28", &[&a, &b]);
+        assert!(md.contains("| ZK-GanDef | 1.10 |"));
+        assert!(md.contains("| PGD-Adv | 10.20 |"));
+    }
+
+    #[test]
+    fn loss_csv_pads_ragged_traces() {
+        let t1 = [2.0f32, 1.0];
+        let t2 = [2.0f32, 1.5, 1.2];
+        let csv = loss_trace_csv(&[("a".into(), &t1), ("b".into(), &t2)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "epoch,a,b");
+        assert_eq!(lines[1], "0,2.0000,2.0000");
+        assert_eq!(lines[3], "2,,1.2000");
+    }
+
+    #[test]
+    fn reduction_percent_matches_paper_style() {
+        // Paper §V-C: ZK-GanDef 8.75 s/epoch vs PGD-Adv 110.85 → 92.11% less.
+        let r = reduction_percent(8.75, 110.85);
+        assert!((r - 92.11).abs() < 0.05, "{r}");
+        assert_eq!(reduction_percent(1.0, 0.0), 0.0);
+    }
+}

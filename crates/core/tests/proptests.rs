@@ -1,0 +1,63 @@
+//! Property-based tests for the defense crate's data structures.
+
+use proptest::prelude::*;
+use zk_gandef::eval::AccuracyGrid;
+use zk_gandef::report::{loss_trace_csv, reduction_percent};
+
+proptest! {
+    #[test]
+    fn grid_roundtrips_arbitrary_cells(
+        cells in prop::collection::vec(
+            (0usize..5, 0usize..3, 0usize..4, 0.0f32..1.0), 1..40
+        )
+    ) {
+        let defenses = ["Vanilla", "CLP", "CLS", "ZK-GanDef", "PGD-Adv"];
+        let datasets = ["D1", "D2", "D3"];
+        let examples = ["Original", "FGSM", "BIM", "PGD"];
+        let mut grid = AccuracyGrid::new();
+        for &(d, s, e, acc) in &cells {
+            grid.record(defenses[d], datasets[s], examples[e], acc);
+        }
+        // The *first* recorded accuracy per key wins in `get` (duplicates
+        // are appended but lookup is first-match).
+        let (d, s, e, acc) = cells[0];
+        prop_assert_eq!(
+            grid.get(defenses[d], datasets[s], examples[e]),
+            Some(acc)
+        );
+        // CSV row count = cells + header.
+        prop_assert_eq!(grid.to_csv().lines().count(), cells.len() + 1);
+        // Markdown contains every dataset section.
+        let md = grid.to_markdown(&examples);
+        for name in grid.datasets() {
+            let header = format!("### {name}");
+            prop_assert!(md.contains(&header));
+        }
+    }
+
+    #[test]
+    fn reduction_percent_bounds(ours in 0.0f64..1000.0, theirs in 0.001f64..1000.0) {
+        let r = reduction_percent(ours, theirs);
+        prop_assert!(r <= 100.0);
+        if ours <= theirs {
+            prop_assert!(r >= 0.0);
+        }
+        // Identity: zero reduction against self.
+        prop_assert!(reduction_percent(theirs, theirs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_trace_csv_shape(
+        t1 in prop::collection::vec(0.0f32..10.0, 1..10),
+        t2 in prop::collection::vec(0.0f32..10.0, 1..10)
+    ) {
+        let csv = loss_trace_csv(&[("a".into(), t1.as_slice()), ("b".into(), t2.as_slice())]);
+        let lines: Vec<&str> = csv.lines().collect();
+        prop_assert_eq!(lines[0], "epoch,a,b");
+        prop_assert_eq!(lines.len(), 1 + t1.len().max(t2.len()));
+        // Every row has exactly 2 commas (3 columns).
+        for line in &lines[1..] {
+            prop_assert_eq!(line.matches(',').count(), 2);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! `SynthCifar` — the CIFAR10 stand-in.
+//!
+//! 32×32 RGB scenes: a class-specific colored object (disk, triangle, ring,
+//! cross, …) with hue/position/size jitter, composited over a multi-
+//! frequency textured color background. The richest of the three synthetic
+//! datasets, standing in for the paper's "complex dataset" on which CLP and
+//! CLS fail to converge (§V-D).
+
+use crate::raster::{waves, Canvas};
+use gandef_tensor::rng::Prng;
+
+/// Image side length (matches CIFAR10).
+pub const SIDE: usize = 32;
+
+/// Base RGB color per class (jittered at render time).
+const CLASS_COLOR: [[f32; 3]; 10] = [
+    [0.85, 0.20, 0.20], // 0 disk — red
+    [0.20, 0.80, 0.30], // 1 triangle — green
+    [0.25, 0.35, 0.90], // 2 ring — blue
+    [0.90, 0.85, 0.20], // 3 cross — yellow
+    [0.80, 0.25, 0.80], // 4 square — magenta
+    [0.20, 0.80, 0.80], // 5 twin disks — cyan
+    [0.90, 0.55, 0.15], // 6 diagonal bar — orange
+    [0.55, 0.25, 0.75], // 7 diamond — purple
+    [0.15, 0.60, 0.50], // 8 horizontal bar — teal
+    [0.90, 0.90, 0.90], // 9 checker patch — white
+];
+
+/// Renders one scene into a `[3 × 32 × 32]` buffer (channel-major) in
+/// `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `class >= 10`.
+pub fn render(class: usize, rng: &mut Prng) -> Vec<f32> {
+    assert!(class < 10, "cifar class out of range");
+    // Object mask with jittered geometry.
+    let mut mask = Canvas::new(SIDE, SIDE);
+    let cy = rng.uniform_in(10.0, 22.0);
+    let cx = rng.uniform_in(10.0, 22.0);
+    let r = rng.uniform_in(5.0, 9.5);
+    shape(class, &mut mask, cy, cx, r);
+    mask.blur(1);
+
+    // A distractor object of a *random* class shape in a random color,
+    // placed off to a corner: clutter that the classifier must learn to
+    // ignore (real CIFAR backgrounds are full of such confounders).
+    let mut distractor = Canvas::new(SIDE, SIDE);
+    let d_class = rng.below(10);
+    let corner = rng.below(4);
+    let (dcy, dcx) = match corner {
+        0 => (5.0, 5.0),
+        1 => (5.0, 27.0),
+        2 => (27.0, 5.0),
+        _ => (27.0, 27.0),
+    };
+    shape(
+        d_class,
+        &mut distractor,
+        dcy + rng.uniform_in(-2.0, 2.0),
+        dcx + rng.uniform_in(-2.0, 2.0),
+        rng.uniform_in(2.5, 4.0),
+    );
+    distractor.blur(1);
+    let d_color: [f32; 3] = [rng.uniform(), rng.uniform(), rng.uniform()];
+
+    // Background: per-channel multi-frequency texture around a random base.
+    let mut out = vec![0.0f32; 3 * SIDE * SIDE];
+    for ch in 0..3 {
+        let base = rng.uniform_in(0.10, 0.60);
+        let amp = rng.uniform_in(0.10, 0.30);
+        let phase = rng.uniform_in(0.0, 6.0);
+        let fy = rng.uniform_in(0.15, 0.9);
+        let fx = rng.uniform_in(0.15, 0.9);
+        let tex = waves(fy, fx, phase);
+        let color = (CLASS_COLOR[class][ch] + rng.uniform_in(-0.20, 0.20)).clamp(0.0, 1.0);
+        for y in 0..SIDE {
+            for x in 0..SIDE {
+                let bg = (base + amp * (tex(y, x) - 0.55)).clamp(0.0, 1.0);
+                let d = distractor.get(y as isize, x as isize).clamp(0.0, 1.0);
+                let with_distractor = bg * (1.0 - d) + d_color[ch] * d;
+                let a = mask.get(y as isize, x as isize).clamp(0.0, 1.0);
+                out[(ch * SIDE + y) * SIDE + x] = with_distractor * (1.0 - a) + color * a;
+            }
+        }
+    }
+    out
+}
+
+/// Draws the binary object mask for `class` centered at `(cy, cx)` with
+/// scale `r`.
+fn shape(class: usize, m: &mut Canvas, cy: f32, cx: f32, r: f32) {
+    match class {
+        0 => m.fill_disk(cy, cx, r, 1.0),
+        1 => m.fill_triangle(
+            (cy - r, cx),
+            (cy + r * 0.8, cx - r),
+            (cy + r * 0.8, cx + r),
+            1.0,
+        ),
+        2 => m.ring(cy, cx, r * 0.55, r, 1.0),
+        3 => {
+            m.line(cy - r, cx, cy + r, cx, r * 0.45, 1.0);
+            m.line(cy, cx - r, cy, cx + r, r * 0.45, 1.0);
+        }
+        4 => m.fill_rect(
+            (cy - r * 0.8) as isize,
+            (cx - r * 0.8) as isize,
+            (cy + r * 0.8) as isize,
+            (cx + r * 0.8) as isize,
+            1.0,
+        ),
+        5 => {
+            m.fill_disk(cy, cx - r * 0.6, r * 0.5, 1.0);
+            m.fill_disk(cy, cx + r * 0.6, r * 0.5, 1.0);
+        }
+        6 => m.line(cy - r, cx - r, cy + r, cx + r, r * 0.5, 1.0),
+        7 => {
+            m.fill_triangle((cy - r, cx), (cy, cx - r), (cy, cx + r), 1.0);
+            m.fill_triangle((cy + r, cx), (cy, cx - r), (cy, cx + r), 1.0);
+        }
+        8 => m.line(cy, cx - r, cy, cx + r, r * 0.5, 1.0),
+        9 => {
+            // Checker patch: alternating filled cells.
+            let cell = (r * 0.5).max(1.5);
+            for gy in -2i32..2 {
+                for gx in -2i32..2 {
+                    if (gy + gx).rem_euclid(2) == 0 {
+                        let y0 = cy + gy as f32 * cell;
+                        let x0 = cx + gx as f32 * cell;
+                        m.fill_rect(
+                            y0 as isize,
+                            x0 as isize,
+                            (y0 + cell - 1.0) as isize,
+                            (x0 + cell - 1.0) as isize,
+                            1.0,
+                        );
+                    }
+                }
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_classes_bounded_rgb() {
+        let mut rng = Prng::new(0);
+        for class in 0..10 {
+            let img = render(class, &mut rng);
+            assert_eq!(img.len(), 3 * SIDE * SIDE);
+            assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn background_is_not_flat() {
+        let mut rng = Prng::new(1);
+        let img = render(0, &mut rng);
+        // Corner region (away from the centered object) must vary: textured.
+        let corner: Vec<f32> = (0..6)
+            .flat_map(|y| (0..6).map(move |x| (y, x)))
+            .map(|(y, x)| img[y * SIDE + x])
+            .collect();
+        let min = corner.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = corner.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        assert!(max - min > 0.005, "flat background: {min}..{max}");
+    }
+
+    #[test]
+    fn red_class_is_red_at_center_green_class_green() {
+        // Average over jitter: channel dominance must follow CLASS_COLOR.
+        let mut rng = Prng::new(2);
+        let mut red_dom = 0;
+        let mut green_dom = 0;
+        for _ in 0..20 {
+            let img = render(0, &mut rng);
+            let c = 16 * SIDE + 16;
+            if img[c] > img[SIDE * SIDE + c] {
+                red_dom += 1;
+            }
+            let img = render(1, &mut rng);
+            if img[SIDE * SIDE + c] > img[c] {
+                green_dom += 1;
+            }
+        }
+        assert!(red_dom >= 15, "red dominance {red_dom}/20");
+        assert!(green_dom >= 15, "green dominance {green_dom}/20");
+    }
+
+    #[test]
+    fn ring_class_has_hole_disk_does_not() {
+        // Deterministic geometry probe on the mask level.
+        let mut disk = Canvas::new(SIDE, SIDE);
+        shape(0, &mut disk, 16.0, 16.0, 8.0);
+        let mut ring = Canvas::new(SIDE, SIDE);
+        shape(2, &mut ring, 16.0, 16.0, 8.0);
+        assert_eq!(disk.get(16, 16), 1.0);
+        assert_eq!(ring.get(16, 16), 0.0);
+        assert_eq!(ring.get(16, 23), 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_rng_state() {
+        assert_eq!(render(6, &mut Prng::new(4)), render(6, &mut Prng::new(4)));
+    }
+}

@@ -1,0 +1,136 @@
+//! `SynthDigits` — the MNIST stand-in.
+//!
+//! Each sample is a seven-segment rendering of its digit class with random
+//! translation, thickness, intensity and slight blur. Like MNIST, images
+//! are grayscale 28×28, near-binary, with essentially no texture — the
+//! property the paper uses to explain why ZK-GanDef can out-score even
+//! full-knowledge defenses there (§V-A-2: the classifier can "select
+//! strongly denoised (even binarized) features without losing
+//! information").
+
+use crate::raster::Canvas;
+use gandef_tensor::rng::Prng;
+
+/// Image side length (matches MNIST).
+pub const SIDE: usize = 28;
+
+/// Seven-segment membership per digit: A(top) B(top-right) C(bottom-right)
+/// D(bottom) E(bottom-left) F(top-left) G(middle).
+const SEGMENTS: [[bool; 7]; 10] = [
+    // A      B      C      D      E      F      G
+    [true, true, true, true, true, true, false],   // 0
+    [false, true, true, false, false, false, false], // 1
+    [true, true, false, true, true, false, true],  // 2
+    [true, true, true, true, false, false, true],  // 3
+    [false, true, true, false, false, true, true], // 4
+    [true, false, true, true, false, true, true],  // 5
+    [true, false, true, true, true, true, true],   // 6
+    [true, true, true, false, false, false, false], // 7
+    [true, true, true, true, true, true, true],    // 8
+    [true, true, true, true, false, true, true],   // 9
+];
+
+/// Renders one digit image into a `[1 × 28 × 28]` buffer with values in
+/// `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `class >= 10`.
+pub fn render(class: usize, rng: &mut Prng) -> Vec<f32> {
+    assert!(class < 10, "digit class out of range");
+    let mut canvas = Canvas::new(SIDE, SIDE);
+    // Jittered bounding box of the digit.
+    let dy = rng.uniform_in(-2.5, 2.5);
+    let dx = rng.uniform_in(-2.5, 2.5);
+    let top = 5.0 + dy;
+    let bottom = 22.0 + dy;
+    let left = 9.0 + dx;
+    let right = 18.0 + dx;
+    let mid = (top + bottom) * 0.5;
+    // High-contrast strokes: like MNIST, ink is near-saturated, which is
+    // exactly what makes large-ε robust classification *possible* — a
+    // thresholding feature keeps its sign under ±0.6 perturbations.
+    let thickness = rng.uniform_in(1.8, 2.8);
+    let v = rng.uniform_in(0.92, 1.0);
+
+    let seg = SEGMENTS[class];
+    // A: top bar
+    if seg[0] {
+        canvas.line(top, left, top, right, thickness, v);
+    }
+    // B: top-right
+    if seg[1] {
+        canvas.line(top, right, mid, right, thickness, v);
+    }
+    // C: bottom-right
+    if seg[2] {
+        canvas.line(mid, right, bottom, right, thickness, v);
+    }
+    // D: bottom bar
+    if seg[3] {
+        canvas.line(bottom, left, bottom, right, thickness, v);
+    }
+    // E: bottom-left
+    if seg[4] {
+        canvas.line(mid, left, bottom, left, thickness, v);
+    }
+    // F: top-left
+    if seg[5] {
+        canvas.line(top, left, mid, left, thickness, v);
+    }
+    // G: middle bar
+    if seg[6] {
+        canvas.line(mid, left, mid, right, thickness, v);
+    }
+    canvas.blur(1);
+    canvas.data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_classes_in_range() {
+        let mut rng = Prng::new(0);
+        for class in 0..10 {
+            let img = render(class, &mut rng);
+            assert_eq!(img.len(), SIDE * SIDE);
+            assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            // Something was drawn.
+            assert!(img.iter().sum::<f32>() > 5.0, "class {class} empty");
+        }
+    }
+
+    #[test]
+    fn one_uses_less_ink_than_eight() {
+        let mut rng = Prng::new(1);
+        let one: f32 = render(1, &mut rng).iter().sum();
+        let eight: f32 = render(8, &mut rng).iter().sum();
+        assert!(eight > one * 1.8, "eight {eight} vs one {one}");
+    }
+
+    #[test]
+    fn deterministic_given_rng_state() {
+        let a = render(5, &mut Prng::new(42));
+        let b = render(5, &mut Prng::new(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jitter_varies_between_draws() {
+        let mut rng = Prng::new(2);
+        let a = render(3, &mut rng);
+        let b = render(3, &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn segments_table_distinguishes_all_digits() {
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                assert_ne!(SEGMENTS[i], SEGMENTS[j], "digits {i} and {j} identical");
+            }
+        }
+    }
+}

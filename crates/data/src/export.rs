@@ -1,0 +1,182 @@
+//! Image export: writes dataset tensors as PGM (grayscale) / PPM (RGB)
+//! files so the synthetic datasets and adversarial examples can be
+//! inspected with any image viewer.
+
+use crate::preprocess;
+use gandef_tensor::Tensor;
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+
+/// Errors from image export.
+#[derive(Debug)]
+pub enum ExportError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The tensor is not a `[C, H, W]` or `[1, C, H, W]` image with 1 or 3
+    /// channels.
+    Shape(String),
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExportError::Io(e) => write!(f, "image export i/o error: {e}"),
+            ExportError::Shape(m) => write!(f, "image export shape error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExportError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ExportError {
+    fn from(e: std::io::Error) -> Self {
+        ExportError::Io(e)
+    }
+}
+
+/// Writes one image tensor (model range `[−1, 1]`, `[C, H, W]` or
+/// `[1, C, H, W]`) to `path` as binary PGM (1 channel) or PPM (3
+/// channels).
+///
+/// # Errors
+///
+/// Returns [`ExportError::Shape`] for unsupported layouts and
+/// [`ExportError::Io`] on filesystem failures.
+pub fn save_image(img: &Tensor, path: impl AsRef<Path>) -> Result<(), ExportError> {
+    let squeezed;
+    let img = if img.rank() == 4 && img.dim(0) == 1 {
+        squeezed = img.reshape(&[img.dim(1), img.dim(2), img.dim(3)]);
+        &squeezed
+    } else {
+        img
+    };
+    if img.rank() != 3 {
+        return Err(ExportError::Shape(format!(
+            "expected [C, H, W], got {}",
+            img.shape()
+        )));
+    }
+    let (c, h, w) = (img.dim(0), img.dim(1), img.dim(2));
+    if c != 1 && c != 3 {
+        return Err(ExportError::Shape(format!("{c} channels unsupported")));
+    }
+    let unit = preprocess::from_model_range(img);
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let magic = if c == 1 { "P5" } else { "P6" };
+    write!(out, "{magic}\n{w} {h}\n255\n")?;
+    let data = unit.as_slice();
+    let mut bytes = Vec::with_capacity(c * h * w);
+    for y in 0..h {
+        for x in 0..w {
+            for ch in 0..c {
+                bytes.push((data[(ch * h + y) * w + x] * 255.0).round() as u8);
+            }
+        }
+    }
+    out.write_all(&bytes)?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Writes the first `n` images of a `[N, C, H, W]` batch into `dir` as
+/// `prefix_<index>_<label>.pgm/ppm`, creating the directory if needed.
+///
+/// # Errors
+///
+/// Propagates [`save_image`] errors.
+pub fn save_batch(
+    batch: &Tensor,
+    labels: &[usize],
+    n: usize,
+    dir: impl AsRef<Path>,
+    prefix: &str,
+) -> Result<Vec<std::path::PathBuf>, ExportError> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let c = batch.dim(1);
+    let ext = if c == 1 { "pgm" } else { "ppm" };
+    let n = n.min(batch.dim(0));
+    let mut paths = Vec::with_capacity(n);
+    for i in 0..n {
+        let path = dir.join(format!("{prefix}_{i}_{}.{ext}", labels[i]));
+        save_image(&batch.slice_rows(i, i + 1), &path)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, DatasetKind, GenSpec};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("gandef-export-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn pgm_header_and_size() {
+        let dir = temp_dir("pgm");
+        std::fs::create_dir_all(&dir).unwrap();
+        let img = Tensor::full(&[1, 4, 6], 0.0); // mid gray
+        let path = dir.join("x.pgm");
+        save_image(&img, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P5\n6 4\n255\n"));
+        assert_eq!(bytes.len(), b"P5\n6 4\n255\n".len() + 24);
+        // Mid gray: −0→[0,1] is 0.5 → 128.
+        assert_eq!(*bytes.last().unwrap(), 128);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ppm_for_rgb() {
+        let dir = temp_dir("ppm");
+        std::fs::create_dir_all(&dir).unwrap();
+        let img = Tensor::full(&[3, 2, 2], 1.0); // white
+        let path = dir.join("x.ppm");
+        save_image(&img, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P6\n2 2\n255\n"));
+        assert!(bytes[b"P6\n2 2\n255\n".len()..].iter().all(|&b| b == 255));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let err = save_image(&Tensor::zeros(&[2, 4, 4]), "/tmp/never.pgm").unwrap_err();
+        assert!(matches!(err, ExportError::Shape(_)), "{err}");
+        let err = save_image(&Tensor::zeros(&[4, 4]), "/tmp/never.pgm").unwrap_err();
+        assert!(matches!(err, ExportError::Shape(_)));
+    }
+
+    #[test]
+    fn batch_export_names_by_label() {
+        let dir = temp_dir("batch");
+        let ds = generate(
+            DatasetKind::SynthDigits,
+            &GenSpec {
+                train: 10,
+                test: 4,
+                seed: 0,
+            },
+        );
+        let paths = save_batch(&ds.test_x, &ds.test_y, 3, &dir, "digit").unwrap();
+        assert_eq!(paths.len(), 3);
+        for (i, p) in paths.iter().enumerate() {
+            assert!(p.exists());
+            let name = p.file_name().unwrap().to_string_lossy().to_string();
+            assert!(name.starts_with(&format!("digit_{i}_")));
+            assert!(name.ends_with(".pgm"));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,204 @@
+//! `SynthFashion` — the Fashion-MNIST stand-in.
+//!
+//! Ten clothing-like classes, each a jittered silhouette filled with a
+//! class-specific procedural texture. Images are grayscale 28×28 like the
+//! digits, but carry "far more details" (§IV-A) — stripes, checks and wave
+//! textures inside the masks — which makes the classification problem, and
+//! the defense problem, measurably harder than `SynthDigits`.
+
+use crate::raster::{checker, stripes_h, stripes_v, waves, Canvas};
+use gandef_tensor::rng::Prng;
+
+/// Image side length (matches Fashion-MNIST).
+pub const SIDE: usize = 28;
+
+/// Renders one garment image into a `[1 × 28 × 28]` buffer in `[0, 1]`.
+///
+/// Class map (mirroring Fashion-MNIST's labels): 0 t-shirt, 1 trouser,
+/// 2 pullover, 3 dress, 4 coat, 5 sandal, 6 shirt, 7 sneaker, 8 bag,
+/// 9 ankle boot.
+///
+/// # Panics
+///
+/// Panics if `class >= 10`.
+pub fn render(class: usize, rng: &mut Prng) -> Vec<f32> {
+    assert!(class < 10, "fashion class out of range");
+    let dy = rng.uniform_in(-2.5, 2.5);
+    let dx = rng.uniform_in(-2.5, 2.5);
+    let mut mask = Canvas::new(SIDE, SIDE);
+    silhouette(class, &mut mask, dy, dx, rng);
+
+    // Texture is *correlated* with the class but sampled from a small
+    // per-class palette with overlap between classes — like real garments,
+    // texture alone does not identify the class, which keeps the problem
+    // honestly harder than SynthDigits.
+    let mut img = Canvas::new(SIDE, SIDE);
+    let phase = rng.uniform_in(0.0, 6.0);
+    let pick = rng.below(3);
+    match (class, pick) {
+        (0, 0) | (6, 1) => img.texture_within(&mask, stripes_h(rng.uniform_in(3.0, 5.0), phase)),
+        (0, _) | (6, 2) => img.texture_within(&mask, waves(0.35, 1.1, phase)),
+        (1, 0) | (4, 1) => img.texture_within(&mask, stripes_v(rng.uniform_in(2.5, 4.0), phase)),
+        (1, _) | (4, 2) => img.texture_within(&mask, stripes_v(rng.uniform_in(5.0, 7.0), phase)),
+        (2, 0) | (9, 1) => img.texture_within(&mask, checker(rng.below(2) + 3, rng.below(3))),
+        (2, _) | (9, 2) => img.texture_within(&mask, checker(4, rng.below(4))),
+        (3, 0) | (8, 1) => img.texture_within(&mask, waves(0.8, 0.5, phase)),
+        (3, _) | (8, 2) => img.texture_within(&mask, waves(0.15, 0.2, phase)),
+        (5, 0) | (7, 1) => img.texture_within(&mask, checker(2, rng.below(2))),
+        (5, _) | (7, 2) => img.texture_within(&mask, stripes_h(rng.uniform_in(2.0, 3.0), phase)),
+        (4, _) => img.texture_within(&mask, waves(0.5, 0.3, phase)),
+        (6, _) => img.texture_within(&mask, stripes_h(rng.uniform_in(4.0, 6.0), phase)),
+        (8, _) => img.texture_within(&mask, checker(3, rng.below(3))),
+        (9, _) => img.texture_within(&mask, stripes_v(rng.uniform_in(3.0, 5.0), phase)),
+        (7, _) => img.texture_within(&mask, waves(0.9, 0.8, phase)),
+        _ => unreachable!(),
+    }
+    // Global intensity jitter per garment.
+    let gain = rng.uniform_in(0.7, 1.0);
+    for v in &mut img.data {
+        *v *= gain;
+    }
+    img.blur(1);
+    img.data
+}
+
+/// Draws the binary silhouette for `class` (1.0 inside, 0.0 outside).
+fn silhouette(class: usize, m: &mut Canvas, dy: f32, dx: f32, rng: &mut Prng) {
+    let mut j = |v: f32| v + rng.uniform_in(-0.8, 0.8);
+    match class {
+        // T-shirt: torso + short sleeves.
+        0 => {
+            m.fill_rect((8.0 + dy) as isize, (9.0 + dx) as isize, (22.0 + dy) as isize, (18.0 + dx) as isize, 1.0);
+            m.fill_rect((8.0 + dy) as isize, (4.0 + dx) as isize, (12.0 + dy) as isize, (23.0 + dx) as isize, 1.0);
+        }
+        // Trouser: two legs joined at the waist.
+        1 => {
+            m.fill_rect((6.0 + dy) as isize, (9.0 + dx) as isize, (9.0 + dy) as isize, (18.0 + dx) as isize, 1.0);
+            m.fill_rect((9.0 + dy) as isize, (9.0 + dx) as isize, (23.0 + dy) as isize, (12.0 + dx) as isize, 1.0);
+            m.fill_rect((9.0 + dy) as isize, (15.0 + dx) as isize, (23.0 + dy) as isize, (18.0 + dx) as isize, 1.0);
+        }
+        // Pullover: torso + full-length sleeves.
+        2 => {
+            m.fill_rect((7.0 + dy) as isize, (9.0 + dx) as isize, (22.0 + dy) as isize, (18.0 + dx) as isize, 1.0);
+            m.fill_rect((7.0 + dy) as isize, (3.0 + dx) as isize, (20.0 + dy) as isize, (7.0 + dx) as isize, 1.0);
+            m.fill_rect((7.0 + dy) as isize, (20.0 + dx) as isize, (20.0 + dy) as isize, (24.0 + dx) as isize, 1.0);
+        }
+        // Dress: bodice + flaring skirt.
+        3 => {
+            m.fill_rect((5.0 + dy) as isize, (11.0 + dx) as isize, (12.0 + dy) as isize, (16.0 + dx) as isize, 1.0);
+            m.fill_triangle(
+                (j(12.0 + dy), j(13.5 + dx)),
+                (j(24.0 + dy), j(6.0 + dx)),
+                (j(24.0 + dy), j(21.0 + dx)),
+                1.0,
+            );
+        }
+        // Coat: long body + lapel notch left dark.
+        4 => {
+            m.fill_rect((5.0 + dy) as isize, (8.0 + dx) as isize, (24.0 + dy) as isize, (19.0 + dx) as isize, 1.0);
+            m.fill_rect((5.0 + dy) as isize, (4.0 + dx) as isize, (16.0 + dy) as isize, (7.0 + dx) as isize, 1.0);
+            m.fill_rect((5.0 + dy) as isize, (20.0 + dx) as isize, (16.0 + dy) as isize, (23.0 + dx) as isize, 1.0);
+        }
+        // Sandal: straps (thin horizontal bars) over a sole.
+        5 => {
+            m.fill_rect((19.0 + dy) as isize, (5.0 + dx) as isize, (22.0 + dy) as isize, (23.0 + dx) as isize, 1.0);
+            m.line(12.0 + dy, 6.0 + dx, 19.0 + dy, 14.0 + dx, 2.0, 1.0);
+            m.line(12.0 + dy, 14.0 + dx, 19.0 + dy, 22.0 + dx, 2.0, 1.0);
+        }
+        // Shirt: torso + sleeves + collar wedge.
+        6 => {
+            m.fill_rect((8.0 + dy) as isize, (9.0 + dx) as isize, (23.0 + dy) as isize, (18.0 + dx) as isize, 1.0);
+            m.fill_rect((8.0 + dy) as isize, (5.0 + dx) as isize, (14.0 + dy) as isize, (22.0 + dx) as isize, 1.0);
+            m.fill_triangle(
+                (6.0 + dy, 11.0 + dx),
+                (6.0 + dy, 16.0 + dx),
+                (11.0 + dy, 13.5 + dx),
+                1.0,
+            );
+        }
+        // Sneaker: low profile — sole + rounded toe.
+        7 => {
+            m.fill_rect((16.0 + dy) as isize, (4.0 + dx) as isize, (21.0 + dy) as isize, (23.0 + dx) as isize, 1.0);
+            m.fill_disk(16.0 + dy, 20.0 + dx, 4.0, 1.0);
+            m.fill_rect((12.0 + dy) as isize, (4.0 + dx) as isize, (16.0 + dy) as isize, (12.0 + dx) as isize, 1.0);
+        }
+        // Bag: box + handle arc.
+        8 => {
+            m.fill_rect((12.0 + dy) as isize, (6.0 + dx) as isize, (23.0 + dy) as isize, (21.0 + dx) as isize, 1.0);
+            m.ring(12.0 + dy, 13.5 + dx, 3.5, 5.5, 1.0);
+        }
+        // Ankle boot: L-shaped shaft + foot.
+        9 => {
+            m.fill_rect((6.0 + dy) as isize, (8.0 + dx) as isize, (21.0 + dy) as isize, (14.0 + dx) as isize, 1.0);
+            m.fill_rect((16.0 + dy) as isize, (8.0 + dx) as isize, (21.0 + dy) as isize, (23.0 + dx) as isize, 1.0);
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_classes_nonempty_and_bounded() {
+        let mut rng = Prng::new(0);
+        for class in 0..10 {
+            let img = render(class, &mut rng);
+            assert_eq!(img.len(), SIDE * SIDE);
+            assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!(img.iter().sum::<f32>() > 10.0, "class {class} too empty");
+        }
+    }
+
+    #[test]
+    fn has_more_texture_detail_than_digits() {
+        // Proxy for "far more details": total variation (sum of |∇|) per
+        // unit ink is higher for fashion than for digits.
+        // Intensity entropy of the inked region: digits are near-binary
+        // (ink sits in a narrow high band), garments carry textures with
+        // many interior intensity levels.
+        let ink_entropy = |img: &[f32]| {
+            let mut bins = [0usize; 16];
+            let mut total = 0usize;
+            for &v in img {
+                if v > 0.05 {
+                    bins[((v * 15.0) as usize).min(15)] += 1;
+                    total += 1;
+                }
+            }
+            let mut h = 0.0f32;
+            for &b in &bins {
+                if b > 0 {
+                    let p = b as f32 / total as f32;
+                    h -= p * p.ln();
+                }
+            }
+            h
+        };
+        let mut rng = Prng::new(3);
+        let fashion_h: f32 = (0..50).map(|i| ink_entropy(&render(i % 10, &mut rng))).sum();
+        let digits_h: f32 = (0..50)
+            .map(|i| ink_entropy(&crate::digits::render(i % 10, &mut rng)))
+            .sum();
+        assert!(
+            fashion_h > digits_h,
+            "fashion {fashion_h} vs digits {digits_h}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_rng_state() {
+        assert_eq!(render(4, &mut Prng::new(9)), render(4, &mut Prng::new(9)));
+    }
+
+    #[test]
+    fn trouser_is_tall_sneaker_is_low() {
+        // Structural sanity: class geometry differs as intended.
+        let mut rng = Prng::new(5);
+        let trouser = render(1, &mut rng);
+        let sneaker = render(7, &mut rng);
+        let top_mass = |img: &[f32]| img[..SIDE * 10].iter().sum::<f32>();
+        assert!(top_mass(&trouser) > top_mass(&sneaker));
+    }
+}

@@ -1,0 +1,46 @@
+//! Synthetic dataset substrate for the ZK-GanDef reproduction.
+//!
+//! The paper evaluates on MNIST, Fashion-MNIST and CIFAR10 (§IV-A). Those
+//! image files are not available to this build, so this crate generates
+//! *procedural stand-ins* that preserve everything the paper's phenomena
+//! depend on:
+//!
+//! * identical tensor shapes (`28×28×1`, `28×28×1`, `32×32×3`) and 10
+//!   balanced classes,
+//! * pixel scaling into `[−1, 1]` (§IV-B "Scaling"),
+//! * disjoint train/test separation (§IV-B "Separation"),
+//! * a strictly increasing complexity ladder:
+//!   [`DatasetKind::SynthDigits`] (near-binary strokes, the "no detailed
+//!   texture" property of MNIST) <
+//!   [`DatasetKind::SynthFashion`] (textured silhouettes) <
+//!   [`DatasetKind::SynthCifar`] (colored objects over textured RGB
+//!   backgrounds).
+//!
+//! Generation is fully seeded: the same [`GenSpec`] always yields the same
+//! dataset, bit for bit.
+//!
+//! # Example
+//!
+//! ```
+//! use gandef_data::{generate, DatasetKind, GenSpec};
+//!
+//! let ds = generate(DatasetKind::SynthDigits, &GenSpec { train: 64, test: 16, seed: 1 });
+//! assert_eq!(ds.train_x.shape().dims(), &[64, 1, 28, 28]);
+//! assert_eq!(ds.test_y.len(), 16);
+//! // Pixels are scaled to [-1, 1].
+//! assert!(ds.train_x.min_value() >= -1.0 && ds.train_x.max_value() <= 1.0);
+//! ```
+
+#![deny(missing_docs)]
+
+mod cifar;
+mod dataset;
+mod digits;
+mod fashion;
+mod raster;
+
+pub mod export;
+pub mod preprocess;
+pub mod stats;
+
+pub use dataset::{batches, generate, Batches, Dataset, DatasetKind, GenSpec};

@@ -1,0 +1,302 @@
+//! Tiny software rasterizer used by the synthetic dataset generators.
+//!
+//! All drawing targets a grayscale [`Canvas`] with intensities in `[0, 1]`;
+//! RGB images compose three canvases. Primitives are intentionally simple —
+//! the goal is distinguishable, jitterable class geometry, not pretty
+//! pictures.
+
+/// A grayscale image buffer with intensities in `[0, 1]`.
+#[derive(Clone, Debug)]
+pub struct Canvas {
+    pub h: usize,
+    pub w: usize,
+    pub data: Vec<f32>,
+}
+
+impl Canvas {
+    /// Creates a black canvas.
+    pub fn new(h: usize, w: usize) -> Self {
+        Canvas {
+            h,
+            w,
+            data: vec![0.0; h * w],
+        }
+    }
+
+    /// Sets a pixel (no-op when out of bounds), taking the max with the
+    /// existing intensity so overlapping strokes don't darken.
+    pub fn put(&mut self, y: isize, x: isize, v: f32) {
+        if y >= 0 && x >= 0 && (y as usize) < self.h && (x as usize) < self.w {
+            let i = y as usize * self.w + x as usize;
+            self.data[i] = self.data[i].max(v.clamp(0.0, 1.0));
+        }
+    }
+
+    /// Reads a pixel (0 outside the canvas).
+    pub fn get(&self, y: isize, x: isize) -> f32 {
+        if y >= 0 && x >= 0 && (y as usize) < self.h && (x as usize) < self.w {
+            self.data[y as usize * self.w + x as usize]
+        } else {
+            0.0
+        }
+    }
+
+    /// Filled axis-aligned rectangle, inclusive corners.
+    pub fn fill_rect(&mut self, y0: isize, x0: isize, y1: isize, x1: isize, v: f32) {
+        for y in y0.min(y1)..=y0.max(y1) {
+            for x in x0.min(x1)..=x0.max(x1) {
+                self.put(y, x, v);
+            }
+        }
+    }
+
+    /// Filled disk.
+    pub fn fill_disk(&mut self, cy: f32, cx: f32, r: f32, v: f32) {
+        let (y0, y1) = ((cy - r).floor() as isize, (cy + r).ceil() as isize);
+        let (x0, x1) = ((cx - r).floor() as isize, (cx + r).ceil() as isize);
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                let (dy, dx) = (y as f32 - cy, x as f32 - cx);
+                if dy * dy + dx * dx <= r * r {
+                    self.put(y, x, v);
+                }
+            }
+        }
+    }
+
+    /// Ring (annulus) between radii `r_in` and `r_out`.
+    pub fn ring(&mut self, cy: f32, cx: f32, r_in: f32, r_out: f32, v: f32) {
+        let (y0, y1) = ((cy - r_out).floor() as isize, (cy + r_out).ceil() as isize);
+        let (x0, x1) = ((cx - r_out).floor() as isize, (cx + r_out).ceil() as isize);
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                let (dy, dx) = (y as f32 - cy, x as f32 - cx);
+                let d2 = dy * dy + dx * dx;
+                if d2 <= r_out * r_out && d2 >= r_in * r_in {
+                    self.put(y, x, v);
+                }
+            }
+        }
+    }
+
+    /// Thick line segment (stamps a disk of radius `thickness/2` along the
+    /// segment).
+    pub fn line(&mut self, y0: f32, x0: f32, y1: f32, x1: f32, thickness: f32, v: f32) {
+        let steps = ((y1 - y0).abs().max((x1 - x0).abs()).ceil() as usize).max(1) * 2;
+        for s in 0..=steps {
+            let t = s as f32 / steps as f32;
+            let y = y0 + (y1 - y0) * t;
+            let x = x0 + (x1 - x0) * t;
+            self.fill_disk(y, x, thickness * 0.5, v);
+        }
+    }
+
+    /// Filled triangle via barycentric point-in-test over the bounding box.
+    pub fn fill_triangle(&mut self, p0: (f32, f32), p1: (f32, f32), p2: (f32, f32), v: f32) {
+        let ys = [p0.0, p1.0, p2.0];
+        let xs = [p0.1, p1.1, p2.1];
+        let y0 = ys.iter().cloned().fold(f32::INFINITY, f32::min).floor() as isize;
+        let y1 = ys.iter().cloned().fold(f32::NEG_INFINITY, f32::max).ceil() as isize;
+        let x0 = xs.iter().cloned().fold(f32::INFINITY, f32::min).floor() as isize;
+        let x1 = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max).ceil() as isize;
+        let sign = |a: (f32, f32), b: (f32, f32), c: (f32, f32)| {
+            (a.1 - c.1) * (b.0 - c.0) - (b.1 - c.1) * (a.0 - c.0)
+        };
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                let p = (y as f32, x as f32);
+                let d1 = sign(p, p0, p1);
+                let d2 = sign(p, p1, p2);
+                let d3 = sign(p, p2, p0);
+                let has_neg = d1 < 0.0 || d2 < 0.0 || d3 < 0.0;
+                let has_pos = d1 > 0.0 || d2 > 0.0 || d3 > 0.0;
+                if !(has_neg && has_pos) {
+                    self.put(y, x, v);
+                }
+            }
+        }
+    }
+
+    /// Multiplies every pixel inside the mask (`mask > 0.5`) by a texture
+    /// function of the pixel coordinates; pixels outside the mask are
+    /// untouched. Used to fill silhouettes with class textures.
+    pub fn texture_within(&mut self, mask: &Canvas, tex: impl Fn(usize, usize) -> f32) {
+        debug_assert_eq!(self.h, mask.h);
+        debug_assert_eq!(self.w, mask.w);
+        for y in 0..self.h {
+            for x in 0..self.w {
+                let i = y * self.w + x;
+                if mask.data[i] > 0.5 {
+                    self.data[i] = tex(y, x).clamp(0.0, 1.0);
+                }
+            }
+        }
+    }
+
+    /// 3×3 box blur, `passes` times — softens hard procedural edges so the
+    /// images are not trivially separable by single pixels.
+    pub fn blur(&mut self, passes: usize) {
+        for _ in 0..passes {
+            let src = self.clone();
+            for y in 0..self.h as isize {
+                for x in 0..self.w as isize {
+                    let mut acc = 0.0;
+                    for dy in -1..=1 {
+                        for dx in -1..=1 {
+                            acc += src.get(y + dy, x + dx);
+                        }
+                    }
+                    self.data[y as usize * self.w + x as usize] = acc / 9.0;
+                }
+            }
+        }
+    }
+}
+
+/// Horizontal stripe texture with the given period and phase.
+pub fn stripes_h(period: f32, phase: f32) -> impl Fn(usize, usize) -> f32 {
+    move |y, _x| {
+        if ((y as f32 + phase) / period).fract() < 0.5 {
+            0.9
+        } else {
+            0.35
+        }
+    }
+}
+
+/// Vertical stripe texture with the given period and phase.
+pub fn stripes_v(period: f32, phase: f32) -> impl Fn(usize, usize) -> f32 {
+    move |_y, x| {
+        if ((x as f32 + phase) / period).fract() < 0.5 {
+            0.9
+        } else {
+            0.35
+        }
+    }
+}
+
+/// Checkerboard texture.
+pub fn checker(period: usize, phase: usize) -> impl Fn(usize, usize) -> f32 {
+    let period = period.max(1);
+    move |y, x| {
+        if ((y + phase) / period + (x + phase) / period) % 2 == 0 {
+            0.85
+        } else {
+            0.3
+        }
+    }
+}
+
+/// Smooth two-frequency value-noise-ish texture, deterministic in the
+/// coordinates and the two phase parameters.
+pub fn waves(fy: f32, fx: f32, phase: f32) -> impl Fn(usize, usize) -> f32 {
+    move |y, x| {
+        let v = (y as f32 * fy + phase).sin() * (x as f32 * fx + phase * 0.7).cos();
+        0.55 + 0.35 * v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canvas_starts_black_and_clamps() {
+        let mut c = Canvas::new(4, 4);
+        assert_eq!(c.data.iter().sum::<f32>(), 0.0);
+        c.put(1, 1, 2.0);
+        assert_eq!(c.get(1, 1), 1.0);
+        c.put(-1, 0, 1.0); // out of bounds: silently ignored
+        c.put(0, 99, 1.0);
+        assert_eq!(c.get(-1, 0), 0.0);
+    }
+
+    #[test]
+    fn put_takes_max_not_overwrite() {
+        let mut c = Canvas::new(2, 2);
+        c.put(0, 0, 0.8);
+        c.put(0, 0, 0.3);
+        assert_eq!(c.get(0, 0), 0.8);
+    }
+
+    #[test]
+    fn rect_covers_inclusive_bounds() {
+        let mut c = Canvas::new(5, 5);
+        c.fill_rect(1, 1, 3, 3, 1.0);
+        assert_eq!(c.data.iter().filter(|&&v| v > 0.0).count(), 9);
+        assert_eq!(c.get(0, 0), 0.0);
+        assert_eq!(c.get(3, 3), 1.0);
+    }
+
+    #[test]
+    fn disk_is_roughly_circular() {
+        let mut c = Canvas::new(21, 21);
+        c.fill_disk(10.0, 10.0, 5.0, 1.0);
+        let area = c.data.iter().filter(|&&v| v > 0.0).count() as f32;
+        let expect = std::f32::consts::PI * 25.0;
+        assert!((area - expect).abs() < expect * 0.25, "area {area}");
+        assert_eq!(c.get(10, 10), 1.0);
+        assert_eq!(c.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn ring_has_hole() {
+        let mut c = Canvas::new(21, 21);
+        c.ring(10.0, 10.0, 3.0, 6.0, 1.0);
+        assert_eq!(c.get(10, 10), 0.0);
+        assert_eq!(c.get(10, 15), 1.0);
+    }
+
+    #[test]
+    fn line_connects_endpoints() {
+        let mut c = Canvas::new(10, 10);
+        c.line(1.0, 1.0, 8.0, 8.0, 1.5, 1.0);
+        assert!(c.get(1, 1) > 0.0);
+        assert!(c.get(8, 8) > 0.0);
+        assert!(c.get(4, 4) > 0.0 || c.get(5, 5) > 0.0);
+    }
+
+    #[test]
+    fn triangle_contains_centroid() {
+        let mut c = Canvas::new(20, 20);
+        c.fill_triangle((2.0, 2.0), (2.0, 17.0), (17.0, 10.0), 1.0);
+        assert!(c.get(7, 10) > 0.0);
+        assert_eq!(c.get(19, 0), 0.0);
+    }
+
+    #[test]
+    fn texture_respects_mask() {
+        let mut mask = Canvas::new(6, 6);
+        mask.fill_rect(0, 0, 2, 5, 1.0);
+        let mut c = Canvas::new(6, 6);
+        c.texture_within(&mask, |_, _| 0.7);
+        // Textured inside the mask...
+        assert_eq!(c.get(1, 1), 0.7);
+        // ...untouched outside.
+        assert_eq!(c.get(4, 4), 0.0);
+    }
+
+    #[test]
+    fn blur_preserves_mass_roughly_and_smooths() {
+        let mut c = Canvas::new(9, 9);
+        c.put(4, 4, 1.0);
+        c.blur(1);
+        assert!(c.get(4, 4) < 1.0);
+        assert!(c.get(3, 4) > 0.0);
+    }
+
+    #[test]
+    fn textures_are_deterministic_and_bounded() {
+        for (y, x) in [(0usize, 0usize), (3, 7), (13, 2)] {
+            for v in [
+                stripes_h(4.0, 1.0)(y, x),
+                stripes_v(3.0, 0.5)(y, x),
+                checker(3, 1)(y, x),
+                waves(0.7, 0.9, 2.0)(y, x),
+            ] {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        assert_eq!(checker(2, 0)(0, 0), checker(2, 0)(0, 0));
+    }
+}

@@ -1,0 +1,67 @@
+//! Weight initializers.
+//!
+//! The reproduction uses the standard pairing: Glorot (Xavier) uniform for
+//! layers followed by symmetric/linear activations, He normal for
+//! ReLU-activated layers.
+
+use gandef_tensor::rng::Prng;
+use gandef_tensor::Tensor;
+
+/// Glorot/Xavier uniform: `U(−a, a)` with `a = √(6 / (fan_in + fan_out))`.
+///
+/// # Panics
+///
+/// Panics if either fan is zero.
+pub fn glorot_uniform(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut Prng) -> Tensor {
+    assert!(fan_in > 0 && fan_out > 0, "fans must be positive");
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    rng.uniform_tensor(dims, -a, a)
+}
+
+/// He/Kaiming normal: `N(0, √(2 / fan_in))`, suited to ReLU networks.
+///
+/// # Panics
+///
+/// Panics if `fan_in` is zero.
+pub fn he_normal(dims: &[usize], fan_in: usize, rng: &mut Prng) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f32).sqrt();
+    rng.normal_tensor(dims, 0.0, std)
+}
+
+/// Zero initializer (biases).
+pub fn zeros(dims: &[usize]) -> Tensor {
+    Tensor::zeros(dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glorot_bounds() {
+        let mut rng = Prng::new(0);
+        let t = glorot_uniform(&[100, 100], 100, 100, &mut rng);
+        let a = (6.0f32 / 200.0).sqrt();
+        assert!(t.as_slice().iter().all(|v| v.abs() <= a));
+        // Not degenerate.
+        assert!(t.as_slice().iter().any(|v| v.abs() > a * 0.5));
+    }
+
+    #[test]
+    fn he_variance_close_to_target() {
+        let mut rng = Prng::new(1);
+        let fan_in = 50;
+        let t = he_normal(&[fan_in, 400], fan_in, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|v| (v - mean) * (v - mean)).mean();
+        let target = 2.0 / fan_in as f32;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - target).abs() < target * 0.15, "var {var} vs {target}");
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        assert_eq!(zeros(&[3, 3]).sum(), 0.0);
+    }
+}

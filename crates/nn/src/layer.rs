@@ -1,0 +1,453 @@
+//! Layers and the sequential container.
+//!
+//! A [`Layer`] contributes parameters to a [`Params`] store at build time
+//! (`init`) and records its computation on the current [`Session`]'s tape at
+//! run time (`forward`). Layers are stateless between passes — all state
+//! lives in `Params` — so a single model can be driven concurrently from
+//! multiple sessions.
+
+use crate::init;
+use crate::params::{Mode, Params, Session};
+use gandef_autodiff::VarId;
+use gandef_tensor::conv::ConvSpec;
+use gandef_tensor::rng::Prng;
+
+/// Activation functions used by the paper's architectures (Table II uses
+/// ReLU hidden layers and a sigmoid output; the sigmoid itself is fused
+/// into the binary cross-entropy loss).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Act {
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Act {
+    fn apply(self, sess: &mut Session, x: VarId) -> VarId {
+        match self {
+            Act::Relu => sess.tape.relu(x),
+            Act::Sigmoid => sess.tape.sigmoid(x),
+            Act::Tanh => sess.tape.tanh(x),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Act::Relu => "ReLU",
+            Act::Sigmoid => "Sigmoid",
+            Act::Tanh => "Tanh",
+        }
+    }
+}
+
+/// A neural-network layer.
+///
+/// Implementations must be deterministic functions of `(params, input,
+/// session RNG)`.
+pub trait Layer {
+    /// Registers this layer's parameters (if any) into `params`.
+    fn init(&self, params: &mut Params, rng: &mut Prng);
+
+    /// Records the layer's computation on the session tape.
+    fn forward(&self, sess: &mut Session, x: VarId) -> VarId;
+
+    /// One-line structural description, e.g. `"Dense(10 -> 32, ReLU)"`.
+    /// Used by the Table-II structure test and `Sequential::summary`.
+    fn describe(&self) -> String;
+}
+
+/// Fully connected layer: `y = act(x·W + b)` with `W: [in, out]`.
+#[derive(Clone, Debug)]
+pub struct Dense {
+    name: String,
+    in_dim: usize,
+    out_dim: usize,
+    act: Option<Act>,
+}
+
+impl Dense {
+    /// Creates a dense layer. `name` must be unique within the model.
+    pub fn new(name: &str, in_dim: usize, out_dim: usize, act: Option<Act>) -> Self {
+        Dense {
+            name: name.to_string(),
+            in_dim,
+            out_dim,
+            act,
+        }
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    fn w_name(&self) -> String {
+        format!("{}.w", self.name)
+    }
+
+    fn b_name(&self) -> String {
+        format!("{}.b", self.name)
+    }
+}
+
+impl Layer for Dense {
+    fn init(&self, params: &mut Params, rng: &mut Prng) {
+        let w = match self.act {
+            Some(Act::Relu) => init::he_normal(&[self.in_dim, self.out_dim], self.in_dim, rng),
+            _ => init::glorot_uniform(
+                &[self.in_dim, self.out_dim],
+                self.in_dim,
+                self.out_dim,
+                rng,
+            ),
+        };
+        params.insert(&self.w_name(), w);
+        params.insert(&self.b_name(), init::zeros(&[self.out_dim]));
+    }
+
+    fn forward(&self, sess: &mut Session, x: VarId) -> VarId {
+        let w = sess.param(&self.w_name());
+        let b = sess.param(&self.b_name());
+        let y = sess.tape.matmul(x, w);
+        let y = sess.tape.add(y, b);
+        match self.act {
+            Some(a) => a.apply(sess, y),
+            None => y,
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self.act {
+            Some(a) => format!("Dense({} -> {}, {})", self.in_dim, self.out_dim, a.name()),
+            None => format!("Dense({} -> {})", self.in_dim, self.out_dim),
+        }
+    }
+}
+
+/// 2-D convolution layer over NCHW tensors with optional activation.
+#[derive(Clone, Debug)]
+pub struct Conv2d {
+    name: String,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    spec: ConvSpec,
+    act: Option<Act>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with a square `kernel × kernel` filter.
+    pub fn new(
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        spec: ConvSpec,
+        act: Option<Act>,
+    ) -> Self {
+        Conv2d {
+            name: name.to_string(),
+            in_ch,
+            out_ch,
+            kernel,
+            spec,
+            act,
+        }
+    }
+
+    fn w_name(&self) -> String {
+        format!("{}.w", self.name)
+    }
+
+    fn b_name(&self) -> String {
+        format!("{}.b", self.name)
+    }
+}
+
+impl Layer for Conv2d {
+    fn init(&self, params: &mut Params, rng: &mut Prng) {
+        let fan_in = self.in_ch * self.kernel * self.kernel;
+        let dims = [self.out_ch, self.in_ch, self.kernel, self.kernel];
+        let w = match self.act {
+            Some(Act::Relu) => init::he_normal(&dims, fan_in, rng),
+            _ => {
+                let fan_out = self.out_ch * self.kernel * self.kernel;
+                init::glorot_uniform(&dims, fan_in, fan_out, rng)
+            }
+        };
+        params.insert(&self.w_name(), w);
+        // Bias stored as [C, 1, 1] so it broadcasts over [N, C, H, W].
+        params.insert(&self.b_name(), init::zeros(&[self.out_ch, 1, 1]));
+    }
+
+    fn forward(&self, sess: &mut Session, x: VarId) -> VarId {
+        let w = sess.param(&self.w_name());
+        let b = sess.param(&self.b_name());
+        let y = sess.tape.conv2d(x, w, self.spec);
+        let y = sess.tape.add(y, b);
+        match self.act {
+            Some(a) => a.apply(sess, y),
+            None => y,
+        }
+    }
+
+    fn describe(&self) -> String {
+        let act = self.act.map(Act::name).unwrap_or("linear");
+        format!(
+            "Conv2d({} -> {}, {}x{}, stride {}, pad {}, {})",
+            self.in_ch, self.out_ch, self.kernel, self.kernel, self.spec.stride, self.spec.pad, act
+        )
+    }
+}
+
+/// Non-overlapping `k × k` max pooling.
+#[derive(Clone, Copy, Debug)]
+pub struct MaxPool {
+    k: usize,
+}
+
+impl MaxPool {
+    /// Creates a pooling layer with window and stride `k`.
+    pub fn new(k: usize) -> Self {
+        MaxPool { k }
+    }
+}
+
+impl Layer for MaxPool {
+    fn init(&self, _params: &mut Params, _rng: &mut Prng) {}
+
+    fn forward(&self, sess: &mut Session, x: VarId) -> VarId {
+        sess.tape.maxpool2d(x, self.k)
+    }
+
+    fn describe(&self) -> String {
+        format!("MaxPool({0}x{0})", self.k)
+    }
+}
+
+/// Global average pooling `[N, C, H, W] → [N, C]` (the AllCNN head).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GlobalAvgPool;
+
+impl Layer for GlobalAvgPool {
+    fn init(&self, _params: &mut Params, _rng: &mut Prng) {}
+
+    fn forward(&self, sess: &mut Session, x: VarId) -> VarId {
+        sess.tape.global_avg_pool(x)
+    }
+
+    fn describe(&self) -> String {
+        "GlobalAvgPool".to_string()
+    }
+}
+
+/// Flattens `[N, ...]` to `[N, rest]` between convolutional and dense
+/// stages.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Flatten;
+
+impl Layer for Flatten {
+    fn init(&self, _params: &mut Params, _rng: &mut Prng) {}
+
+    fn forward(&self, sess: &mut Session, x: VarId) -> VarId {
+        sess.tape.flatten_batch(x)
+    }
+
+    fn describe(&self) -> String {
+        "Flatten".to_string()
+    }
+}
+
+/// Inverted dropout; identity in [`Mode::Eval`]. The AllCNN classifier puts
+/// one of these directly on the input — the "input dropout" the paper
+/// credits with inhibiting FGSM-Adv's gradient-masking overfit (§V-A-2).
+#[derive(Clone, Copy, Debug)]
+pub struct Dropout {
+    p: f32,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout rate must be in [0, 1)");
+        Dropout { p }
+    }
+}
+
+impl Layer for Dropout {
+    fn init(&self, _params: &mut Params, _rng: &mut Prng) {}
+
+    fn forward(&self, sess: &mut Session, x: VarId) -> VarId {
+        match sess.mode {
+            Mode::Train => {
+                let mut rng = sess.rng.fork(0x5EED);
+                let out = sess.tape.dropout(x, self.p, &mut rng);
+                sess.rng = rng;
+                out
+            }
+            Mode::Eval => x,
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("Dropout({})", self.p)
+    }
+}
+
+/// An ordered stack of layers applied in sequence.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates a sequential model from boxed layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Registers all parameters into `params`.
+    pub fn init(&self, params: &mut Params, rng: &mut Prng) {
+        for layer in &self.layers {
+            layer.init(params, rng);
+        }
+    }
+
+    /// Records the whole stack on the session tape.
+    pub fn forward(&self, sess: &mut Session, x: VarId) -> VarId {
+        let mut cur = x;
+        for layer in &self.layers {
+            cur = layer.forward(sess, cur);
+        }
+        cur
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Structural descriptions of each layer, in order.
+    pub fn summary(&self) -> Vec<String> {
+        self.layers.iter().map(|l| l.describe()).collect()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential{:?}", self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gandef_tensor::Tensor;
+
+    fn run_model(model: &Sequential, input: Tensor, mode: Mode) -> Tensor {
+        let mut params = Params::new();
+        let mut rng = Prng::new(42);
+        model.init(&mut params, &mut rng);
+        let mut sess = Session::new(&params, mode, Prng::new(7));
+        let x = sess.input(input);
+        let out = model.forward(&mut sess, x);
+        sess.tape.value(out).clone()
+    }
+
+    #[test]
+    fn dense_shapes_and_bias() {
+        let model = Sequential::new(vec![Box::new(Dense::new("fc", 4, 3, None))]);
+        let out = run_model(&model, Tensor::zeros(&[2, 4]), Mode::Eval);
+        assert_eq!(out.shape().dims(), &[2, 3]);
+        // Zero input × anything + zero bias = 0.
+        assert_eq!(out.sum(), 0.0);
+    }
+
+    #[test]
+    fn dense_relu_nonnegative() {
+        let model = Sequential::new(vec![Box::new(Dense::new("fc", 4, 8, Some(Act::Relu)))]);
+        let out = run_model(&model, Tensor::full(&[3, 4], 0.5), Mode::Eval);
+        assert!(out.min_value() >= 0.0);
+    }
+
+    #[test]
+    fn conv_stack_shapes() {
+        let model = Sequential::new(vec![
+            Box::new(Conv2d::new(
+                "c1",
+                1,
+                4,
+                3,
+                ConvSpec { stride: 1, pad: 1 },
+                Some(Act::Relu),
+            )),
+            Box::new(MaxPool::new(2)),
+            Box::new(Flatten),
+            Box::new(Dense::new("fc", 4 * 4 * 4, 10, None)),
+        ]);
+        let out = run_model(&model, Tensor::zeros(&[2, 1, 8, 8]), Mode::Eval);
+        assert_eq!(out.shape().dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn global_avg_pool_head() {
+        let model = Sequential::new(vec![
+            Box::new(Conv2d::new("c", 3, 10, 1, ConvSpec::default(), None)),
+            Box::new(GlobalAvgPool),
+        ]);
+        let out = run_model(&model, Tensor::ones(&[1, 3, 4, 4]), Mode::Eval);
+        assert_eq!(out.shape().dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity_train_is_not() {
+        let model = Sequential::new(vec![Box::new(Dropout::new(0.5))]);
+        let input = Tensor::ones(&[1, 64]);
+        let eval = run_model(&model, input.clone(), Mode::Eval);
+        assert_eq!(eval, input);
+        let train = run_model(&model, input.clone(), Mode::Train);
+        assert_ne!(train, input);
+        // Survivors are scaled by 2, the rest zeroed.
+        assert!(train
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn summary_describes_structure() {
+        let model = Sequential::new(vec![
+            Box::new(Dense::new("a", 10, 32, Some(Act::Relu))),
+            Box::new(Dense::new("b", 32, 1, Some(Act::Sigmoid))),
+        ]);
+        assert_eq!(
+            model.summary(),
+            vec!["Dense(10 -> 32, ReLU)", "Dense(32 -> 1, Sigmoid)"]
+        );
+        assert_eq!(model.len(), 2);
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let model = Sequential::new(vec![Box::new(Dense::new("fc", 4, 4, Some(Act::Relu)))]);
+        let mut p1 = Params::new();
+        let mut p2 = Params::new();
+        model.init(&mut p1, &mut Prng::new(5));
+        model.init(&mut p2, &mut Prng::new(5));
+        assert_eq!(p1.get("fc.w"), p2.get("fc.w"));
+        let mut p3 = Params::new();
+        model.init(&mut p3, &mut Prng::new(6));
+        assert_ne!(p1.get("fc.w"), p3.get("fc.w"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Neural-network library over the gandef autodiff tape.
+//!
+//! Provides what the paper's defense module (§IV-D) needs:
+//!
+//! * [`Params`] / [`Session`]: named parameter storage and its binding onto
+//!   a fresh [`gandef_autodiff::Tape`] for each forward/backward pass.
+//! * [`layer`]: `Dense`, `Conv2d`, pooling, activations, dropout and the
+//!   [`layer::Sequential`] container.
+//! * [`init`]: Glorot / He initializers.
+//! * [`optim`]: SGD, momentum and Adam (the paper trains the discriminator
+//!   with Adam at lr 0.001, §IV-D-2).
+//! * [`zoo`]: the concrete architectures — a LeNet-style classifier for
+//!   28×28 inputs, an AllCNN-style classifier (with the input dropout the
+//!   paper highlights) for 32×32 inputs, and the Table-II discriminator.
+//! * [`Net`] and the [`Classifier`] trait: an initialized model + parameters
+//!   with inference and input-gradient entry points (the latter is what the
+//!   white-box attack crate consumes).
+//!
+//! # Example
+//!
+//! ```
+//! use gandef_nn::{layer::{Act, Dense, Sequential}, Classifier, Net};
+//! use gandef_tensor::rng::Prng;
+//! use gandef_tensor::Tensor;
+//!
+//! let mut rng = Prng::new(0);
+//! let model = Sequential::new(vec![
+//!     Box::new(Dense::new("fc1", 4, 8, Some(Act::Relu))),
+//!     Box::new(Dense::new("fc2", 8, 3, None)),
+//! ]);
+//! let net = Net::new(model, &mut rng);
+//! let x = Tensor::zeros(&[2, 4]);
+//! assert_eq!(net.logits(&x).shape().dims(), &[2, 3]);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod init;
+pub mod layer;
+pub mod optim;
+pub mod serialize;
+pub mod zoo;
+
+mod net;
+mod params;
+
+pub use net::{Classifier, Net};
+pub use params::{Mode, Params, Session};
+
+use gandef_tensor::Tensor;
+
+/// Encodes integer class labels as one-hot rows (`[N, classes]`).
+///
+/// # Panics
+///
+/// Panics if any label is `>= classes` or `labels` is empty.
+///
+/// # Example
+///
+/// ```
+/// let t = gandef_nn::one_hot(&[2, 0], 3);
+/// assert_eq!(t.as_slice(), &[0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+/// ```
+pub fn one_hot(labels: &[usize], classes: usize) -> Tensor {
+    assert!(!labels.is_empty(), "one_hot requires at least one label");
+    let mut t = Tensor::zeros(&[labels.len(), classes]);
+    for (i, &l) in labels.iter().enumerate() {
+        assert!(l < classes, "label {l} out of range for {classes} classes");
+        t.set(&[i, l], 1.0);
+    }
+    t
+}
+
+/// Fraction of predictions matching the labels.
+///
+/// # Panics
+///
+/// Panics if lengths differ or are zero.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    assert!(!labels.is_empty(), "accuracy of empty set is undefined");
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f32 / labels.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_rows() {
+        let t = one_hot(&[1, 0, 2], 3);
+        assert_eq!(t.shape().dims(), &[3, 3]);
+        assert_eq!(t.at(&[0, 1]), 1.0);
+        assert_eq!(t.at(&[1, 0]), 1.0);
+        assert_eq!(t.at(&[2, 2]), 1.0);
+        assert_eq!(t.sum(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_hot_rejects_bad_label() {
+        one_hot(&[3], 3);
+    }
+
+    #[test]
+    fn accuracy_counts() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[0], &[0]), 1.0);
+    }
+}

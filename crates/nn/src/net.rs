@@ -1,0 +1,242 @@
+//! An initialized network (model + parameters) and the white-box
+//! [`Classifier`] interface consumed by the attack crate.
+
+use crate::layer::Sequential;
+use crate::params::{Mode, Params, Session};
+use gandef_tensor::rng::Prng;
+use gandef_tensor::Tensor;
+
+/// Maximum rows pushed through a single inference tape; larger batches are
+/// chunked to bound the tape's memory footprint.
+const INFER_CHUNK: usize = 64;
+
+/// A white-box image classifier: something that exposes its logits *and*
+/// its input gradients. All of the paper's attack generators (§IV-C) are
+/// written against this trait, mirroring the white-box threat model where
+/// the adversary has "full knowledge about the target NN classifier".
+pub trait Classifier {
+    /// Number of output classes.
+    fn num_classes(&self) -> usize;
+
+    /// Pre-softmax logits `z = C(x)` for a batch `x` (`[N, ...]` → `[N, classes]`).
+    fn logits(&self, x: &Tensor) -> Tensor;
+
+    /// Mean softmax cross-entropy of the batch against one-hot `targets`,
+    /// together with its gradient with respect to the *input* — the kernel
+    /// of FGSM/BIM/PGD.
+    fn ce_input_grad(&self, x: &Tensor, targets: &Tensor) -> (f32, Tensor);
+
+    /// Gradient of `Σ (weights ⊙ z)` with respect to the input, where
+    /// `weights: [N, classes]` is constant. A one-hot row extracts one
+    /// logit's gradient (DeepFool); a ±1 pair extracts a margin gradient
+    /// (CW).
+    fn weighted_logit_input_grad(&self, x: &Tensor, weights: &Tensor) -> Tensor;
+
+    /// Predicted class per row.
+    fn predict(&self, x: &Tensor) -> Vec<usize> {
+        self.logits(x).argmax_rows()
+    }
+}
+
+/// A [`Sequential`] model with initialized [`Params`] — the unit that
+/// defenses train and attacks target.
+pub struct Net {
+    /// The architecture.
+    pub model: Sequential,
+    /// The trainable parameters.
+    pub params: Params,
+    classes: usize,
+}
+
+impl Net {
+    /// Initializes the model's parameters with `rng` and wraps everything
+    /// into a ready-to-train network with 10 output classes (the paper's
+    /// datasets are all 10-way).
+    pub fn new(model: Sequential, rng: &mut Prng) -> Self {
+        Net::with_classes(model, 10, rng)
+    }
+
+    /// As [`Net::new`] but with an explicit class count.
+    pub fn with_classes(model: Sequential, classes: usize, rng: &mut Prng) -> Self {
+        let mut params = Params::new();
+        model.init(&mut params, rng);
+        Net {
+            model,
+            params,
+            classes,
+        }
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.params.numel()
+    }
+
+    /// Accuracy of the network's predictions on `(x, labels)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty or sizes disagree.
+    pub fn accuracy_on(&self, x: &Tensor, labels: &[usize]) -> f32 {
+        crate::accuracy(&self.predict(x), labels)
+    }
+
+    /// Runs one evaluation-mode forward pass on a fresh session, returning
+    /// the logits tensor. Input batches larger than an internal chunk size
+    /// are split to bound tape memory.
+    fn infer(&self, x: &Tensor) -> Tensor {
+        let n = x.dim(0);
+        if n <= INFER_CHUNK {
+            return self.infer_chunk(x);
+        }
+        let mut parts = Vec::new();
+        let mut start = 0;
+        while start < n {
+            let end = (start + INFER_CHUNK).min(n);
+            parts.push(self.infer_chunk(&x.slice_rows(start, end)));
+            start = end;
+        }
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        Tensor::concat_rows(&refs)
+    }
+
+    fn infer_chunk(&self, x: &Tensor) -> Tensor {
+        let mut sess = Session::eval(&self.params);
+        let xv = sess.input(x.clone());
+        let z = self.model.forward(&mut sess, xv);
+        sess.tape.value(z).clone()
+    }
+}
+
+impl Classifier for Net {
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn logits(&self, x: &Tensor) -> Tensor {
+        self.infer(x)
+    }
+
+    fn ce_input_grad(&self, x: &Tensor, targets: &Tensor) -> (f32, Tensor) {
+        let mut sess = Session::new(&self.params, Mode::Eval, Prng::new(0));
+        let xv = sess.input(x.clone());
+        let z = self.model.forward(&mut sess, xv);
+        let loss = sess.tape.softmax_cross_entropy(z, targets);
+        let value = sess.tape.value(loss).item();
+        let grads = sess.tape.backward(loss);
+        let gx = grads
+            .get(xv)
+            .expect("input must receive a gradient")
+            .clone();
+        (value, gx)
+    }
+
+    fn weighted_logit_input_grad(&self, x: &Tensor, weights: &Tensor) -> Tensor {
+        let mut sess = Session::new(&self.params, Mode::Eval, Prng::new(0));
+        let xv = sess.input(x.clone());
+        let z = self.model.forward(&mut sess, xv);
+        let s = sess.tape.dot_const(z, weights);
+        let grads = sess.tape.backward(s);
+        grads
+            .get(xv)
+            .expect("input must receive a gradient")
+            .clone()
+    }
+}
+
+impl std::fmt::Debug for Net {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Net({} layers, {} params, {} classes)",
+            self.model.len(),
+            self.num_params(),
+            self.classes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Act, Dense};
+    use crate::one_hot;
+    use gandef_autodiff::numeric_grad;
+
+    fn tiny_net(seed: u64) -> Net {
+        let model = Sequential::new(vec![
+            Box::new(Dense::new("fc1", 4, 6, Some(Act::Tanh))),
+            Box::new(Dense::new("fc2", 6, 3, None)),
+        ]);
+        Net::with_classes(model, 3, &mut Prng::new(seed))
+    }
+
+    #[test]
+    fn logits_shape_and_determinism() {
+        let net = tiny_net(1);
+        let x = Prng::new(2).uniform_tensor(&[5, 4], -1.0, 1.0);
+        let z1 = net.logits(&x);
+        let z2 = net.logits(&x);
+        assert_eq!(z1.shape().dims(), &[5, 3]);
+        assert_eq!(z1, z2);
+    }
+
+    #[test]
+    fn chunked_inference_matches_single_pass() {
+        let net = tiny_net(3);
+        let x = Prng::new(4).uniform_tensor(&[INFER_CHUNK + 17, 4], -1.0, 1.0);
+        let full = net.logits(&x);
+        // Row i of the chunked result equals an isolated forward of row i.
+        for probe in [0usize, INFER_CHUNK - 1, INFER_CHUNK, INFER_CHUNK + 16] {
+            let single = net.logits(&x.slice_rows(probe, probe + 1));
+            assert!(full.slice_rows(probe, probe + 1).allclose(&single, 1e-5));
+        }
+    }
+
+    #[test]
+    fn ce_input_grad_matches_finite_difference() {
+        let net = tiny_net(5);
+        let x = Prng::new(6).uniform_tensor(&[2, 4], -1.0, 1.0);
+        let targets = one_hot(&[0, 2], 3);
+        let (loss, grad) = net.ce_input_grad(&x, &targets);
+        assert!(loss > 0.0);
+        let numeric = numeric_grad(|p| net.ce_input_grad(p, &targets).0, &x, 1e-3);
+        assert!(grad.allclose(&numeric, 2e-2), "{grad:?} vs {numeric:?}");
+    }
+
+    #[test]
+    fn weighted_logit_grad_matches_finite_difference() {
+        let net = tiny_net(7);
+        let x = Prng::new(8).uniform_tensor(&[2, 4], -1.0, 1.0);
+        // Margin weights: +1 on class 1, −1 on class 0 for both rows.
+        let w = gandef_tensor::Tensor::from_vec(
+            vec![2, 3],
+            vec![-1.0, 1.0, 0.0, -1.0, 1.0, 0.0],
+        );
+        let grad = net.weighted_logit_input_grad(&x, &w);
+        let numeric = numeric_grad(
+            |p| {
+                let z = net.logits(p);
+                z.mul(&w).sum()
+            },
+            &x,
+            1e-3,
+        );
+        assert!(grad.allclose(&numeric, 2e-2));
+    }
+
+    #[test]
+    fn predict_is_argmax_of_logits() {
+        let net = tiny_net(9);
+        let x = Prng::new(10).uniform_tensor(&[8, 4], -1.0, 1.0);
+        assert_eq!(net.predict(&x), net.logits(&x).argmax_rows());
+    }
+
+    #[test]
+    fn accuracy_on_self_consistent_labels_is_one() {
+        let net = tiny_net(11);
+        let x = Prng::new(12).uniform_tensor(&[8, 4], -1.0, 1.0);
+        let labels = net.predict(&x);
+        assert_eq!(net.accuracy_on(&x, &labels), 1.0);
+    }
+}

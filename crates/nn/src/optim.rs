@@ -1,0 +1,232 @@
+//! First-order optimizers.
+//!
+//! Gradients arrive as `Vec<Option<Tensor>>` in parameter-store order
+//! (`None` for parameters the loss did not reach — the frozen network in an
+//! alternating GAN update keeps its momentum/Adam state untouched).
+
+use crate::params::Params;
+use gandef_tensor::Tensor;
+
+/// A first-order parameter-update rule.
+pub trait Optimizer {
+    /// Applies one update step given per-parameter gradients in store order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads.len()` differs from `params.len()`.
+    fn step(&mut self, params: &mut Params, grads: &[Option<Tensor>]);
+
+    /// Clears any accumulated state (momentum buffers, Adam moments).
+    fn reset(&mut self);
+}
+
+/// Plain stochastic gradient descent: `w ← w − lr·g`.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut Params, grads: &[Option<Tensor>]) {
+        assert_eq!(grads.len(), params.len(), "gradient count mismatch");
+        for (i, g) in grads.iter().enumerate() {
+            if let Some(g) = g {
+                params.value_at_mut(i).axpy(-self.lr, g);
+            }
+        }
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// SGD with classical momentum: `v ← μv + g; w ← w − lr·v`.
+#[derive(Clone, Debug)]
+pub struct Momentum {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient `μ`.
+    pub mu: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Momentum {
+    /// Creates momentum SGD.
+    pub fn new(lr: f32, mu: f32) -> Self {
+        Momentum {
+            lr,
+            mu,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Momentum {
+    fn step(&mut self, params: &mut Params, grads: &[Option<Tensor>]) {
+        assert_eq!(grads.len(), params.len(), "gradient count mismatch");
+        self.velocity.resize(params.len(), None);
+        for (i, g) in grads.iter().enumerate() {
+            let Some(g) = g else { continue };
+            let v = self.velocity[i].get_or_insert_with(|| Tensor::zeros(g.shape().dims()));
+            *v = v.scale(self.mu).add(g);
+            params.value_at_mut(i).axpy(-self.lr, v);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) — the optimizer the paper uses for the
+/// ZK-GanDef discriminator (lr 0.001, §IV-D-2) and that we use for all
+/// classifier training.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay `β₁`.
+    pub beta1: f32,
+    /// Second-moment decay `β₂`.
+    pub beta2: f32,
+    /// Numerical stabilizer `ε`.
+    pub eps: f32,
+    t: u64,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    /// Creates Adam with the canonical defaults `β₁ = 0.9`, `β₂ = 0.999`,
+    /// `ε = 1e−8`.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut Params, grads: &[Option<Tensor>]) {
+        assert_eq!(grads.len(), params.len(), "gradient count mismatch");
+        self.m.resize(params.len(), None);
+        self.v.resize(params.len(), None);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, g) in grads.iter().enumerate() {
+            let Some(g) = g else { continue };
+            let m = self.m[i].get_or_insert_with(|| Tensor::zeros(g.shape().dims()));
+            let v = self.v[i].get_or_insert_with(|| Tensor::zeros(g.shape().dims()));
+            *m = m.scale(self.beta1).add(&g.scale(1.0 - self.beta1));
+            *v = v
+                .scale(self.beta2)
+                .add(&g.square().scale(1.0 - self.beta2));
+            let update = Tensor::from_fn(g.shape().dims(), |j| {
+                let mh = m.as_slice()[j] / bc1;
+                let vh = v.as_slice()[j] / bc2;
+                mh / (vh.sqrt() + self.eps)
+            });
+            params.value_at_mut(i).axpy(-self.lr, &update);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.t = 0;
+        self.m.clear();
+        self.v.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs `steps` optimizer iterations on f(w) = ‖w − target‖².
+    fn optimize(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let target = Tensor::from_vec(vec![3], vec![1.0, -2.0, 0.5]);
+        let mut params = Params::new();
+        params.insert("w", Tensor::zeros(&[3]));
+        for _ in 0..steps {
+            let g = params.get("w").sub(&target).scale(2.0);
+            opt.step(&mut params, &[Some(g)]);
+        }
+        params.get("w").sub(&target).l2_norm()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        assert!(optimize(&mut opt, 100) < 1e-3);
+    }
+
+    #[test]
+    fn momentum_converges_on_quadratic() {
+        let mut opt = Momentum::new(0.05, 0.9);
+        assert!(optimize(&mut opt, 200) < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.05);
+        assert!(optimize(&mut opt, 400) < 1e-2);
+    }
+
+    #[test]
+    fn none_gradients_leave_params_untouched() {
+        let mut params = Params::new();
+        params.insert("a", Tensor::ones(&[2]));
+        params.insert("b", Tensor::ones(&[2]));
+        let g = Tensor::full(&[2], 1.0);
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut params, &[Some(g), None]);
+        assert_ne!(params.get("a"), &Tensor::ones(&[2]));
+        assert_eq!(params.get("b"), &Tensor::ones(&[2]));
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // With bias correction the very first Adam step is ≈ lr in magnitude
+        // regardless of gradient scale.
+        let mut params = Params::new();
+        params.insert("w", Tensor::zeros(&[1]));
+        let mut opt = Adam::new(0.001);
+        opt.step(&mut params, &[Some(Tensor::from_vec(vec![1], vec![123.0]))]);
+        let w = params.get("w").as_slice()[0];
+        assert!((w + 0.001).abs() < 1e-5, "w {w}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut opt = Momentum::new(0.1, 0.9);
+        let mut params = Params::new();
+        params.insert("w", Tensor::zeros(&[1]));
+        let g = Tensor::ones(&[1]);
+        opt.step(&mut params, &[Some(g.clone())]);
+        opt.step(&mut params, &[Some(g.clone())]);
+        let with_momentum = params.get("w").as_slice()[0];
+        // Fresh optimizer, same two steps but reset in between: momentum
+        // buffer rebuilt, so the second step is smaller in magnitude.
+        let mut opt2 = Momentum::new(0.1, 0.9);
+        let mut params2 = Params::new();
+        params2.insert("w", Tensor::zeros(&[1]));
+        opt2.step(&mut params2, &[Some(g.clone())]);
+        opt2.reset();
+        opt2.step(&mut params2, &[Some(g)]);
+        let without = params2.get("w").as_slice()[0];
+        assert!(with_momentum < without, "{with_momentum} vs {without}");
+    }
+}

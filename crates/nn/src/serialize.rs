@@ -1,0 +1,278 @@
+//! Parameter checkpointing: save and load a [`Params`] store.
+//!
+//! The format is a small self-describing binary container (`GNDF`):
+//!
+//! ```text
+//! magic "GNDF" | version u32 | entry count u32
+//! per entry: name_len u32 | name bytes | rank u32 | dims u32...
+//!            | data_len u32 | f32 data (little-endian)
+//! ```
+//!
+//! Architectures themselves are code (see [`crate::zoo`]); a checkpoint
+//! restores the *weights* into a freshly built model of the same
+//! structure, which is how frameworks without reflection normally persist
+//! models.
+
+use crate::params::Params;
+use gandef_tensor::Tensor;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"GNDF";
+const VERSION: u32 = 1;
+
+/// Errors arising while reading or writing checkpoints.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a GNDF checkpoint or is structurally corrupt.
+    Format(String),
+    /// The checkpoint does not match the model it is being loaded into.
+    Mismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Format(m) => write!(f, "invalid checkpoint: {m}"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Writes `params` to `path` in GNDF format.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on filesystem failures.
+pub fn save_params(params: &Params, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for (name, tensor) in params.iter() {
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name.as_bytes())?;
+        let dims = tensor.shape().dims();
+        w.write_all(&(dims.len() as u32).to_le_bytes())?;
+        for &d in dims {
+            w.write_all(&(d as u32).to_le_bytes())?;
+        }
+        w.write_all(&(tensor.numel() as u32).to_le_bytes())?;
+        for &v in tensor.as_slice() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a GNDF checkpoint into a fresh [`Params`] store.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Format`] if the file is not a valid
+/// checkpoint, or [`CheckpointError::Io`] on filesystem failures.
+pub fn load_params(path: impl AsRef<Path>) -> Result<Params, CheckpointError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::Format("bad magic".into()));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let count = read_u32(&mut r)? as usize;
+    if count > 1_000_000 {
+        return Err(CheckpointError::Format(format!(
+            "implausible entry count {count}"
+        )));
+    }
+    let mut params = Params::new();
+    for _ in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        if name_len > 4096 {
+            return Err(CheckpointError::Format("oversized name".into()));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| CheckpointError::Format("non-UTF8 name".into()))?;
+        let rank = read_u32(&mut r)? as usize;
+        if rank > 8 {
+            return Err(CheckpointError::Format(format!("implausible rank {rank}")));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u32(&mut r)? as usize);
+        }
+        let len = read_u32(&mut r)? as usize;
+        let expect: usize = dims.iter().product();
+        if len != expect || len > 100_000_000 {
+            return Err(CheckpointError::Format(format!(
+                "entry {name:?}: data length {len} does not match shape {dims:?}"
+            )));
+        }
+        let mut data = Vec::with_capacity(len);
+        let mut buf = [0u8; 4];
+        for _ in 0..len {
+            r.read_exact(&mut buf)?;
+            data.push(f32::from_le_bytes(buf));
+        }
+        params.insert(&name, Tensor::from_vec(dims, data));
+    }
+    Ok(params)
+}
+
+/// Restores a checkpoint into an existing store (e.g. a freshly
+/// initialized [`crate::Net`]'s parameters): every entry must match an
+/// existing parameter's name and shape exactly.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Mismatch`] if names or shapes differ.
+pub fn restore_params(
+    target: &mut Params,
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    let loaded = load_params(path)?;
+    if loaded.len() != target.len() {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint has {} tensors, model has {}",
+            loaded.len(),
+            target.len()
+        )));
+    }
+    for (name, tensor) in loaded.iter() {
+        let names: Vec<&str> = target.names().iter().map(String::as_str).collect();
+        if !names.contains(&name) {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint tensor {name:?} not present in model"
+            )));
+        }
+        let slot = target.get_mut(name);
+        if slot.shape() != tensor.shape() {
+            return Err(CheckpointError::Mismatch(format!(
+                "tensor {name:?}: checkpoint shape {} vs model shape {}",
+                tensor.shape(),
+                slot.shape()
+            )));
+        }
+        *slot = tensor.clone();
+    }
+    Ok(())
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, CheckpointError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gandef_tensor::rng::Prng;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("gndf-test-{}-{tag}.bin", std::process::id()))
+    }
+
+    fn sample_params() -> Params {
+        let mut rng = Prng::new(1);
+        let mut p = Params::new();
+        p.insert("conv1.w", rng.uniform_tensor(&[4, 1, 3, 3], -1.0, 1.0));
+        p.insert("conv1.b", rng.uniform_tensor(&[4, 1, 1], -1.0, 1.0));
+        p.insert("fc.w", rng.uniform_tensor(&[16, 10], -1.0, 1.0));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let path = temp_path("roundtrip");
+        let original = sample_params();
+        save_params(&original, &path).unwrap();
+        let loaded = load_params(&path).unwrap();
+        assert_eq!(loaded.len(), original.len());
+        assert_eq!(loaded.names(), original.names());
+        for (name, tensor) in original.iter() {
+            assert_eq!(loaded.get(name), tensor, "{name}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn restore_into_model_overwrites_weights() {
+        let path = temp_path("restore");
+        let trained = sample_params();
+        save_params(&trained, &path).unwrap();
+        // A "fresh" model with the same structure but different values.
+        let mut fresh = sample_params();
+        fresh.get_mut("fc.w").map_inplace(|_| 0.0);
+        restore_params(&mut fresh, &path).unwrap();
+        assert_eq!(fresh.get("fc.w"), trained.get("fc.w"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch() {
+        let path = temp_path("mismatch");
+        save_params(&sample_params(), &path).unwrap();
+        let mut other = Params::new();
+        other.insert("conv1.w", Tensor::zeros(&[4, 1, 3, 3]));
+        other.insert("conv1.b", Tensor::zeros(&[4, 1, 1]));
+        other.insert("fc.w", Tensor::zeros(&[16, 12])); // wrong shape
+        let err = restore_params(&mut other, &path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = temp_path("garbage");
+        std::fs::write(&path, b"definitely not a checkpoint").unwrap();
+        let err = load_params(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_truncated_file() {
+        let path = temp_path("truncated");
+        save_params(&sample_params(), &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = load_params(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_params("/nonexistent/gndf.bin").unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+}

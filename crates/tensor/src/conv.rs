@@ -1,0 +1,549 @@
+//! 2-D convolution and pooling kernels (NCHW layout), with explicit
+//! backward passes.
+//!
+//! Convolution is lowered to GEMM through im2col: the input patches are
+//! unrolled into a `[N·Ho·Wo, C·kh·kw]` matrix and multiplied against the
+//! reshaped filter bank. The backward pass reuses the same column matrix
+//! (`∂W = gᵀ·cols`) and scatters `∂cols` back with col2im.
+
+use crate::{linalg, Shape, Tensor};
+
+/// Geometry of a 2-D convolution: square stride and zero padding.
+///
+/// # Example
+///
+/// ```
+/// use gandef_tensor::conv::ConvSpec;
+///
+/// let spec = ConvSpec { stride: 2, pad: 1 };
+/// assert_eq!(spec.out_dim(32, 3), 16);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvSpec {
+    /// Step between adjacent filter applications, in pixels (≥ 1).
+    pub stride: usize,
+    /// Zero padding applied to every image border, in pixels.
+    pub pad: usize,
+}
+
+impl Default for ConvSpec {
+    fn default() -> Self {
+        ConvSpec { stride: 1, pad: 0 }
+    }
+}
+
+impl ConvSpec {
+    /// Output spatial size for an input of size `in_dim` and a kernel of
+    /// size `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel (with padding) does not fit in the input.
+    pub fn out_dim(&self, in_dim: usize, k: usize) -> usize {
+        let padded = in_dim + 2 * self.pad;
+        assert!(
+            padded >= k,
+            "kernel {k} larger than padded input {padded}"
+        );
+        (padded - k) / self.stride + 1
+    }
+}
+
+/// Unrolls convolution patches of `input` (`[N, C, H, W]`) into a column
+/// matrix `[N·Ho·Wo, C·kh·kw]`.
+///
+/// # Panics
+///
+/// Panics unless `input` is rank 4 and the geometry is valid.
+pub fn im2col(input: &Tensor, kh: usize, kw: usize, spec: ConvSpec) -> Tensor {
+    assert_eq!(input.rank(), 4, "im2col expects [N, C, H, W]");
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let ho = spec.out_dim(h, kh);
+    let wo = spec.out_dim(w, kw);
+    let cols_w = c * kh * kw;
+    let mut out = vec![0.0f32; n * ho * wo * cols_w];
+    let src = input.as_slice();
+    for b in 0..n {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let row = ((b * ho + oy) * wo + ox) * cols_w;
+                let iy0 = (oy * spec.stride) as isize - spec.pad as isize;
+                let ix0 = (ox * spec.stride) as isize - spec.pad as isize;
+                for ch in 0..c {
+                    let chan = (b * c + ch) * h * w;
+                    for ky in 0..kh {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue; // zero padding: leave zeros
+                        }
+                        let line = chan + iy as usize * w;
+                        let dst = row + (ch * kh + ky) * kw;
+                        for kx in 0..kw {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            out[dst + kx] = src[line + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![n * ho * wo, cols_w], out)
+}
+
+/// The adjoint of [`im2col`]: scatters a column-matrix gradient
+/// (`[N·Ho·Wo, C·kh·kw]`) back into an input-shaped gradient
+/// (`[N, C, H, W]`), accumulating where patches overlap.
+///
+/// # Panics
+///
+/// Panics if the column matrix does not match the stated geometry.
+pub fn col2im(
+    cols: &Tensor,
+    input_dims: &[usize],
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+) -> Tensor {
+    let [n, c, h, w]: [usize; 4] = input_dims.try_into().expect("input_dims must be [N,C,H,W]");
+    let ho = spec.out_dim(h, kh);
+    let wo = spec.out_dim(w, kw);
+    let cols_w = c * kh * kw;
+    assert_eq!(
+        cols.shape().dims(),
+        &[n * ho * wo, cols_w],
+        "col2im: column matrix shape mismatch"
+    );
+    let src = cols.as_slice();
+    let mut out = vec![0.0f32; n * c * h * w];
+    for b in 0..n {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let row = ((b * ho + oy) * wo + ox) * cols_w;
+                let iy0 = (oy * spec.stride) as isize - spec.pad as isize;
+                let ix0 = (ox * spec.stride) as isize - spec.pad as isize;
+                for ch in 0..c {
+                    let chan = (b * c + ch) * h * w;
+                    for ky in 0..kh {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let line = chan + iy as usize * w;
+                        let srow = row + (ch * kh + ky) * kw;
+                        for kx in 0..kw {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            out[line + ix as usize] += src[srow + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(input_dims.to_vec(), out)
+}
+
+/// Forward 2-D convolution: `input [N, C, H, W]` with filters
+/// `weight [O, C, kh, kw]` producing `[N, O, Ho, Wo]`.
+///
+/// Returns the output together with the im2col matrix, which the caller
+/// should keep for the backward pass ([`conv2d_backward`]).
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches.
+pub fn conv2d(input: &Tensor, weight: &Tensor, spec: ConvSpec) -> (Tensor, Tensor) {
+    assert_eq!(input.rank(), 4, "conv2d input must be [N, C, H, W]");
+    assert_eq!(weight.rank(), 4, "conv2d weight must be [O, C, kh, kw]");
+    assert_eq!(
+        input.dim(1),
+        weight.dim(1),
+        "conv2d channel mismatch: input {} vs weight {}",
+        input.shape(),
+        weight.shape()
+    );
+    let (n, _c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let (o, kh, kw) = (weight.dim(0), weight.dim(2), weight.dim(3));
+    let ho = spec.out_dim(h, kh);
+    let wo = spec.out_dim(w, kw);
+    let cols = im2col(input, kh, kw, spec);
+    let w_mat = weight.reshape(&[o, weight.numel() / o]);
+    // [N·Ho·Wo, O] = cols × w_matᵀ
+    let out_mat = linalg::matmul_nt(&cols, &w_mat);
+    let out = nhwc_rows_to_nchw(&out_mat, n, o, ho, wo);
+    (out, cols)
+}
+
+/// Backward 2-D convolution. Given the upstream gradient
+/// `grad_out [N, O, Ho, Wo]`, the saved `cols` from [`conv2d`], the filter
+/// bank and the input geometry, returns `(grad_input, grad_weight)`.
+///
+/// # Panics
+///
+/// Panics on geometry mismatches.
+pub fn conv2d_backward(
+    grad_out: &Tensor,
+    cols: &Tensor,
+    weight: &Tensor,
+    input_dims: &[usize],
+    spec: ConvSpec,
+) -> (Tensor, Tensor) {
+    let (n, o, ho, wo) = (
+        grad_out.dim(0),
+        grad_out.dim(1),
+        grad_out.dim(2),
+        grad_out.dim(3),
+    );
+    let (kh, kw) = (weight.dim(2), weight.dim(3));
+    let g_mat = nchw_to_nhwc_rows(grad_out); // [N·Ho·Wo, O]
+    debug_assert_eq!(g_mat.dim(0), n * ho * wo);
+    let w_mat = weight.reshape(&[o, weight.numel() / o]);
+    // ∂W = g_matᵀ × cols  → [O, C·kh·kw]
+    let grad_w = linalg::matmul_tn(&g_mat, cols).reshape(weight.shape().dims());
+    // ∂cols = g_mat × w_mat → [N·Ho·Wo, C·kh·kw]
+    let grad_cols = linalg::matmul(&g_mat, &w_mat);
+    let grad_input = col2im(&grad_cols, input_dims, kh, kw, spec);
+    (grad_input, grad_w)
+}
+
+/// Reinterprets a `[N·Ho·Wo, O]` row matrix as an `[N, O, Ho, Wo]` tensor.
+fn nhwc_rows_to_nchw(mat: &Tensor, n: usize, o: usize, ho: usize, wo: usize) -> Tensor {
+    let src = mat.as_slice();
+    let mut out = vec![0.0f32; n * o * ho * wo];
+    for b in 0..n {
+        for y in 0..ho {
+            for x in 0..wo {
+                let row = ((b * ho + y) * wo + x) * o;
+                for ch in 0..o {
+                    out[((b * o + ch) * ho + y) * wo + x] = src[row + ch];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![n, o, ho, wo], out)
+}
+
+/// Reinterprets an `[N, O, Ho, Wo]` tensor as a `[N·Ho·Wo, O]` row matrix.
+fn nchw_to_nhwc_rows(t: &Tensor) -> Tensor {
+    let (n, o, ho, wo) = (t.dim(0), t.dim(1), t.dim(2), t.dim(3));
+    let src = t.as_slice();
+    let mut out = vec![0.0f32; n * o * ho * wo];
+    for b in 0..n {
+        for ch in 0..o {
+            for y in 0..ho {
+                for x in 0..wo {
+                    out[((b * ho + y) * wo + x) * o + ch] = src[((b * o + ch) * ho + y) * wo + x];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![n * ho * wo, o], out)
+}
+
+/// Forward max pooling with a square `k × k` window and stride `k`
+/// (non-overlapping). Returns the pooled tensor and, per output element,
+/// the flat index of the winning input element (for the backward pass).
+///
+/// Trailing rows/columns that do not fill a window are dropped, matching
+/// common framework defaults.
+///
+/// # Panics
+///
+/// Panics unless `input` is rank 4 and `k ≥ 1` fits in the image.
+pub fn maxpool2d(input: &Tensor, k: usize) -> (Tensor, Vec<usize>) {
+    assert_eq!(input.rank(), 4, "maxpool2d expects [N, C, H, W]");
+    assert!(k >= 1, "pool window must be >= 1");
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let (ho, wo) = (h / k, w / k);
+    assert!(ho >= 1 && wo >= 1, "pool window {k} larger than image {h}x{w}");
+    let src = input.as_slice();
+    let mut out = vec![0.0f32; n * c * ho * wo];
+    let mut idx = vec![0usize; n * c * ho * wo];
+    for b in 0..n {
+        for ch in 0..c {
+            let chan = (b * c + ch) * h * w;
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0usize;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let i = chan + (oy * k + ky) * w + (ox * k + kx);
+                            if src[i] > best {
+                                best = src[i];
+                                best_i = i;
+                            }
+                        }
+                    }
+                    let o = ((b * c + ch) * ho + oy) * wo + ox;
+                    out[o] = best;
+                    idx[o] = best_i;
+                }
+            }
+        }
+    }
+    (Tensor::from_vec(vec![n, c, ho, wo], out), idx)
+}
+
+/// Backward max pooling: routes each upstream gradient element to the input
+/// position recorded in `indices` by [`maxpool2d`].
+///
+/// # Panics
+///
+/// Panics if `grad_out` does not have `indices.len()` elements.
+pub fn maxpool2d_backward(grad_out: &Tensor, indices: &[usize], input_dims: &[usize]) -> Tensor {
+    assert_eq!(
+        grad_out.numel(),
+        indices.len(),
+        "maxpool2d_backward: gradient / index count mismatch"
+    );
+    let mut out = vec![0.0f32; Shape::from(input_dims).numel()];
+    for (g, &i) in grad_out.as_slice().iter().zip(indices) {
+        out[i] += g;
+    }
+    Tensor::from_vec(input_dims.to_vec(), out)
+}
+
+/// Global average pooling: `[N, C, H, W] → [N, C]`.
+///
+/// # Panics
+///
+/// Panics unless `input` is rank 4.
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    assert_eq!(input.rank(), 4, "global_avg_pool expects [N, C, H, W]");
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let inv = 1.0 / (h * w) as f32;
+    let src = input.as_slice();
+    let mut out = vec![0.0f32; n * c];
+    for bc in 0..n * c {
+        let plane = &src[bc * h * w..(bc + 1) * h * w];
+        out[bc] = plane.iter().sum::<f32>() * inv;
+    }
+    Tensor::from_vec(vec![n, c], out)
+}
+
+/// Backward global average pooling: spreads each `[N, C]` gradient uniformly
+/// over its `H × W` plane.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn global_avg_pool_backward(grad_out: &Tensor, input_dims: &[usize]) -> Tensor {
+    let [n, c, h, w]: [usize; 4] = input_dims.try_into().expect("input_dims must be [N,C,H,W]");
+    assert_eq!(grad_out.shape().dims(), &[n, c], "grad shape mismatch");
+    let inv = 1.0 / (h * w) as f32;
+    let g = grad_out.as_slice();
+    let mut out = vec![0.0f32; n * c * h * w];
+    for bc in 0..n * c {
+        let v = g[bc] * inv;
+        for e in &mut out[bc * h * w..(bc + 1) * h * w] {
+            *e = v;
+        }
+    }
+    Tensor::from_vec(input_dims.to_vec(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct (definition-level) convolution for cross-checking.
+    fn naive_conv(input: &Tensor, weight: &Tensor, spec: ConvSpec) -> Tensor {
+        let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+        let (o, kh, kw) = (weight.dim(0), weight.dim(2), weight.dim(3));
+        let ho = spec.out_dim(h, kh);
+        let wo = spec.out_dim(w, kw);
+        let mut out = Tensor::zeros(&[n, o, ho, wo]);
+        for b in 0..n {
+            for oc in 0..o {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut acc = 0.0;
+                        for ic in 0..c {
+                            for ky in 0..kh {
+                                for kx in 0..kw {
+                                    let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                                    let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                        continue;
+                                    }
+                                    acc += input.at(&[b, ic, iy as usize, ix as usize])
+                                        * weight.at(&[oc, ic, ky, kx]);
+                                }
+                            }
+                        }
+                        out.set(&[b, oc, oy, ox], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn out_dim_math() {
+        let s = ConvSpec { stride: 1, pad: 0 };
+        assert_eq!(s.out_dim(28, 5), 24);
+        let s = ConvSpec { stride: 2, pad: 1 };
+        assert_eq!(s.out_dim(32, 3), 16);
+        let s = ConvSpec { stride: 1, pad: 2 };
+        assert_eq!(s.out_dim(8, 5), 8);
+    }
+
+    #[test]
+    fn conv_matches_naive_no_pad() {
+        let input = Tensor::from_fn(&[2, 3, 6, 6], |i| ((i * 7 % 23) as f32 - 11.0) / 23.0);
+        let weight = Tensor::from_fn(&[4, 3, 3, 3], |i| ((i * 5 % 17) as f32 - 8.0) / 17.0);
+        let spec = ConvSpec::default();
+        let (fast, _) = conv2d(&input, &weight, spec);
+        let slow = naive_conv(&input, &weight, spec);
+        assert!(fast.allclose(&slow, 1e-4));
+    }
+
+    #[test]
+    fn conv_matches_naive_stride_pad() {
+        let input = Tensor::from_fn(&[1, 2, 7, 7], |i| (i as f32 * 0.13).sin());
+        let weight = Tensor::from_fn(&[3, 2, 3, 3], |i| (i as f32 * 0.21).cos());
+        let spec = ConvSpec { stride: 2, pad: 1 };
+        let (fast, _) = conv2d(&input, &weight, spec);
+        let slow = naive_conv(&input, &weight, spec);
+        assert_eq!(fast.shape().dims(), &[1, 3, 4, 4]);
+        assert!(fast.allclose(&slow, 1e-4));
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_through() {
+        // A 1x1 kernel with weight 1 on a single channel is the identity.
+        let input = Tensor::from_fn(&[1, 1, 4, 4], |i| i as f32);
+        let weight = Tensor::ones(&[1, 1, 1, 1]);
+        let (out, _) = conv2d(&input, &weight, ConvSpec::default());
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property the backward pass relies on.
+        let dims = [2usize, 2, 5, 5];
+        let spec = ConvSpec { stride: 2, pad: 1 };
+        let (kh, kw) = (3usize, 3usize);
+        let x = Tensor::from_fn(&dims, |i| ((i * 13 % 31) as f32 - 15.0) / 31.0);
+        let cols = im2col(&x, kh, kw, spec);
+        let y = Tensor::from_fn(cols.shape().dims(), |i| ((i * 11 % 29) as f32 - 14.0) / 29.0);
+        let lhs: f32 = cols
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let back = col2im(&y, &dims, kh, kw, spec);
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "lhs {lhs} vs rhs {rhs}");
+    }
+
+    #[test]
+    fn conv_backward_weight_matches_finite_difference() {
+        let input = Tensor::from_fn(&[1, 1, 5, 5], |i| (i as f32 * 0.31).sin());
+        let mut weight = Tensor::from_fn(&[2, 1, 3, 3], |i| (i as f32 * 0.17).cos());
+        let spec = ConvSpec::default();
+        let loss = |w: &Tensor| conv2d(&input, w, spec).0.square().sum() * 0.5;
+
+        let (out, cols) = conv2d(&input, &weight, spec);
+        let (_, grad_w) = conv2d_backward(&out, &cols, &weight, &[1, 1, 5, 5], spec);
+
+        let eps = 1e-3;
+        for probe in [0usize, 5, 11, 17] {
+            let orig = weight.as_slice()[probe];
+            weight.as_mut_slice()[probe] = orig + eps;
+            let up = loss(&weight);
+            weight.as_mut_slice()[probe] = orig - eps;
+            let down = loss(&weight);
+            weight.as_mut_slice()[probe] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            let analytic = grad_w.as_slice()[probe];
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "probe {probe}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_backward_input_matches_finite_difference() {
+        let mut input = Tensor::from_fn(&[1, 2, 4, 4], |i| (i as f32 * 0.23).sin());
+        let weight = Tensor::from_fn(&[2, 2, 3, 3], |i| (i as f32 * 0.19).cos());
+        let spec = ConvSpec { stride: 1, pad: 1 };
+        let loss = |x: &Tensor| conv2d(x, &weight, spec).0.square().sum() * 0.5;
+
+        let (out, cols) = conv2d(&input, &weight, spec);
+        let (grad_x, _) = conv2d_backward(&out, &cols, &weight, &[1, 2, 4, 4], spec);
+
+        let eps = 1e-3;
+        for probe in [0usize, 7, 15, 30] {
+            let orig = input.as_slice()[probe];
+            input.as_mut_slice()[probe] = orig + eps;
+            let up = loss(&input);
+            input.as_mut_slice()[probe] = orig - eps;
+            let down = loss(&input);
+            input.as_mut_slice()[probe] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            let analytic = grad_x.as_slice()[probe];
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "probe {probe}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_and_routing() {
+        let input = Tensor::from_vec(
+            vec![1, 1, 4, 4],
+            vec![
+                1., 2., 5., 6., //
+                3., 4., 7., 8., //
+                9., 10., 13., 14., //
+                11., 12., 15., 16.,
+            ],
+        );
+        let (out, idx) = maxpool2d(&input, 2);
+        assert_eq!(out.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.as_slice(), &[4., 8., 12., 16.]);
+        let g = Tensor::ones(&[1, 1, 2, 2]);
+        let back = maxpool2d_backward(&g, &idx, &[1, 1, 4, 4]);
+        // Gradient lands exactly on the argmax positions.
+        assert_eq!(back.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(back.at(&[0, 0, 1, 3]), 1.0);
+        assert_eq!(back.at(&[0, 0, 3, 1]), 1.0);
+        assert_eq!(back.at(&[0, 0, 3, 3]), 1.0);
+        assert_eq!(back.sum(), 4.0);
+    }
+
+    #[test]
+    fn maxpool_drops_ragged_edge() {
+        let input = Tensor::from_fn(&[1, 1, 5, 5], |i| i as f32);
+        let (out, _) = maxpool2d(&input, 2);
+        assert_eq!(out.shape().dims(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn global_avg_pool_roundtrip() {
+        let input = Tensor::from_fn(&[2, 3, 2, 2], |i| i as f32);
+        let out = global_avg_pool(&input);
+        assert_eq!(out.shape().dims(), &[2, 3]);
+        assert_eq!(out.at(&[0, 0]), 1.5); // mean of 0..4
+        let g = Tensor::ones(&[2, 3]);
+        let back = global_avg_pool_backward(&g, &[2, 3, 2, 2]);
+        assert!(back.as_slice().iter().all(|&v| (v - 0.25).abs() < 1e-7));
+    }
+}

@@ -1,0 +1,38 @@
+//! Dense `f32` tensor math substrate for the ZK-GanDef reproduction.
+//!
+//! The original paper implements its models in TensorFlow; no comparable
+//! stack is available to this build, so this crate provides the minimal —
+//! but complete and well-tested — numeric kernel set the rest of the
+//! workspace needs:
+//!
+//! * [`Tensor`]: a row-major, contiguous, n-dimensional `f32` array with
+//!   NumPy-style broadcasting for elementwise arithmetic.
+//! * [`linalg`]: blocked and (for large problems) multithreaded matrix
+//!   multiplication, including the transposed variants backward passes need.
+//! * [`conv`]: im2col-based 2-D convolution, max pooling and global average
+//!   pooling, each with explicit backward kernels.
+//! * [`rng`]: a seeded PRNG wrapper with the Gaussian sampler (Box–Muller)
+//!   used by the paper's zero-knowledge augmentation (§IV-B).
+//!
+//! # Example
+//!
+//! ```
+//! use gandef_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+//! let b = Tensor::full(&[2, 2], 0.5);
+//! let c = a.mul(&b);
+//! assert_eq!(c.as_slice(), &[0.5, 1.0, 1.5, 2.0]);
+//! ```
+
+#![deny(missing_docs)]
+
+mod shape;
+mod tensor;
+
+pub mod conv;
+pub mod linalg;
+pub mod rng;
+
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,255 @@
+//! Matrix multiplication kernels.
+//!
+//! Everything in this workspace that is compute-bound — dense layers,
+//! im2col convolutions and their backward passes — bottoms out in one of the
+//! three GEMM variants below. They are written as cache-friendly `ikj` loops
+//! over the output rows, and fan out across threads (via `crossbeam::scope`)
+//! once a problem is large enough to amortize the spawn cost.
+
+use crate::Tensor;
+
+/// Problems below this many multiply-adds run single-threaded.
+const PARALLEL_THRESHOLD: usize = 1 << 18;
+
+/// Maximum worker threads for a single GEMM.
+fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
+}
+
+/// `C = A × B` for `A: [M, K]`, `B: [K, N]`.
+///
+/// # Panics
+///
+/// Panics unless both inputs are rank 2 with matching inner dimensions.
+///
+/// # Example
+///
+/// ```
+/// use gandef_tensor::{linalg, Tensor};
+///
+/// let a = Tensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.]);
+/// let i = Tensor::from_vec(vec![2, 2], vec![1., 0., 0., 1.]);
+/// assert_eq!(linalg::matmul(&a, &i), a);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul lhs must be rank 2, got {}", a.shape());
+    assert_eq!(b.rank(), 2, "matmul rhs must be rank 2, got {}", b.shape());
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (k2, n) = (b.dim(0), b.dim(1));
+    assert_eq!(
+        k,
+        k2,
+        "matmul inner dimensions disagree: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = vec![0.0f32; m * n];
+    gemm_rows(a.as_slice(), b.as_slice(), &mut out, m, k, n);
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// `C = Aᵀ × B` for `A: [K, M]`, `B: [K, N]` — the weight-gradient kernel
+/// (`∂L/∂W = Xᵀ · ∂L/∂Y`).
+///
+/// # Panics
+///
+/// Panics unless both inputs are rank 2 with matching leading dimensions.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul_tn lhs must be rank 2");
+    assert_eq!(b.rank(), 2, "matmul_tn rhs must be rank 2");
+    let (k, m) = (a.dim(0), a.dim(1));
+    let (k2, n) = (b.dim(0), b.dim(1));
+    assert_eq!(
+        k,
+        k2,
+        "matmul_tn leading dimensions disagree: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    // Cᵀ-free formulation: C[i][j] = Σ_k A[k][i] · B[k][j].
+    // Accumulate row-blocks of C; parallelize over columns of A (rows of C).
+    let a_s = a.as_slice();
+    let b_s = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    let work = m * n * k;
+    let run = |rows: std::ops::Range<usize>, out: &mut [f32]| {
+        for kk in 0..k {
+            let brow = &b_s[kk * n..(kk + 1) * n];
+            for i in rows.clone() {
+                let aval = a_s[kk * m + i];
+                if aval == 0.0 {
+                    continue;
+                }
+                let crow = &mut out[(i - rows.start) * n..(i - rows.start + 1) * n];
+                for (c, &bv) in crow.iter_mut().zip(brow) {
+                    *c += aval * bv;
+                }
+            }
+        }
+    };
+    parallel_row_blocks(m, n, work, &mut out, &run);
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// `C = A × Bᵀ` for `A: [M, K]`, `B: [N, K]` — the input-gradient kernel
+/// (`∂L/∂X = ∂L/∂Y · Wᵀ`).
+///
+/// # Panics
+///
+/// Panics unless both inputs are rank 2 with matching trailing dimensions.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul_nt lhs must be rank 2");
+    assert_eq!(b.rank(), 2, "matmul_nt rhs must be rank 2");
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (n, k2) = (b.dim(0), b.dim(1));
+    assert_eq!(
+        k,
+        k2,
+        "matmul_nt trailing dimensions disagree: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    let a_s = a.as_slice();
+    let b_s = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    let work = m * n * k;
+    let run = |rows: std::ops::Range<usize>, out: &mut [f32]| {
+        for i in rows.clone() {
+            let arow = &a_s[i * k..(i + 1) * k];
+            let crow = &mut out[(i - rows.start) * n..(i - rows.start + 1) * n];
+            for (j, c) in crow.iter_mut().enumerate() {
+                let brow = &b_s[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (av, bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                *c = acc;
+            }
+        }
+    };
+    parallel_row_blocks(m, n, work, &mut out, &run);
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// Plain `ikj` GEMM over raw slices, parallelized over output-row blocks.
+fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let work = m * k * n;
+    let run = |rows: std::ops::Range<usize>, out: &mut [f32]| {
+        for i in rows.clone() {
+            let arow = &a[i * k..(i + 1) * k];
+            let crow = &mut out[(i - rows.start) * n..(i - rows.start + 1) * n];
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                for (c, &bv) in crow.iter_mut().zip(brow) {
+                    *c += av * bv;
+                }
+            }
+        }
+    };
+    parallel_row_blocks(m, n, work, out, &run);
+}
+
+/// Splits `out` (an `[m, n]` buffer) into contiguous row blocks and runs
+/// `body` on each, across threads when `work` is large enough. `body`
+/// receives the absolute row range and the block's slice of `out` (indexed
+/// relative to the block start).
+fn parallel_row_blocks<F>(m: usize, n: usize, work: usize, out: &mut [f32], body: &F)
+where
+    F: Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
+{
+    let threads = max_threads();
+    if work < PARALLEL_THRESHOLD || threads < 2 || m < 2 {
+        body(0..m, out);
+        return;
+    }
+    let threads = threads.min(m);
+    let rows_per = m.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        let mut rest = out;
+        let mut start = 0usize;
+        while start < m {
+            let end = (start + rows_per).min(m);
+            let (block, tail) = rest.split_at_mut((end - start) * n);
+            rest = tail;
+            let range = start..end;
+            scope.spawn(move |_| body(range, block));
+            start = end;
+        }
+    })
+    .expect("matmul worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k, n) = (a.dim(0), a.dim(1), b.dim(1));
+        Tensor::from_fn(&[m, n], |idx| {
+            let (i, j) = (idx / n, idx % n);
+            (0..k).map(|kk| a.at(&[i, kk]) * b.at(&[kk, j])).sum()
+        })
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_fn(&[4, 4], |i| i as f32);
+        let id = Tensor::from_fn(&[4, 4], |i| if i / 4 == i % 4 { 1.0 } else { 0.0 });
+        assert_eq!(matmul(&a, &id), a);
+        assert_eq!(matmul(&id, &a), a);
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_explicit_transpose() {
+        let a = Tensor::from_fn(&[5, 7], |i| (i as f32 * 0.37).sin());
+        let b = Tensor::from_fn(&[5, 4], |i| (i as f32 * 0.11).cos());
+        let tn = matmul_tn(&a, &b);
+        let expect = matmul(&a.transpose2d(), &b);
+        assert!(tn.allclose(&expect, 1e-5));
+
+        let a2 = Tensor::from_fn(&[6, 5], |i| (i as f32 * 0.2).sin());
+        let b2 = Tensor::from_fn(&[3, 5], |i| (i as f32 * 0.3).cos());
+        let nt = matmul_nt(&a2, &b2);
+        let expect2 = matmul(&a2, &b2.transpose2d());
+        assert!(nt.allclose(&expect2, 1e-5));
+    }
+
+    #[test]
+    fn large_parallel_path_matches_naive() {
+        // Big enough to cross PARALLEL_THRESHOLD (128*128*128 = 2^21).
+        let a = Tensor::from_fn(&[128, 128], |i| ((i * 31 % 97) as f32 - 48.0) / 97.0);
+        let b = Tensor::from_fn(&[128, 128], |i| ((i * 17 % 89) as f32 - 44.0) / 89.0);
+        let fast = matmul(&a, &b);
+        let slow = naive_matmul(&a, &b);
+        assert!(fast.allclose(&slow, 1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions disagree")]
+    fn mismatched_inner_dims_panic() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn associativity_with_identity_chain() {
+        let a = Tensor::from_fn(&[3, 3], |i| i as f32 * 0.5);
+        let b = Tensor::from_fn(&[3, 3], |i| (9 - i) as f32);
+        let c = Tensor::from_fn(&[3, 3], |i| ((i % 3) as f32) - 1.0);
+        let left = matmul(&matmul(&a, &b), &c);
+        let right = matmul(&a, &matmul(&b, &c));
+        assert!(left.allclose(&right, 1e-3));
+    }
+}

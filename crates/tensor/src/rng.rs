@@ -1,0 +1,230 @@
+//! Seeded pseudo-random number generation.
+//!
+//! Every stochastic component of the reproduction — dataset synthesis,
+//! weight initialization, Gaussian augmentation (§IV-B of the paper), PGD's
+//! random restarts, batch shuffling, dropout — draws from [`Prng`], a
+//! xoshiro256++ generator seeded explicitly. This keeps every experiment
+//! bit-reproducible across runs and platforms, which the test suite and the
+//! benchmark harness both rely on.
+
+use crate::Tensor;
+
+/// A seeded xoshiro256++ pseudo-random number generator.
+///
+/// # Example
+///
+/// ```
+/// use gandef_tensor::rng::Prng;
+///
+/// let mut a = Prng::new(42);
+/// let mut b = Prng::new(42);
+/// assert_eq!(a.uniform(), b.uniform()); // same seed, same stream
+/// ```
+#[derive(Clone, Debug)]
+pub struct Prng {
+    state: [u64; 4],
+}
+
+impl Prng {
+    /// Creates a generator from a 64-bit seed (expanded via SplitMix64).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Prng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Derives an independent generator for a named sub-stream.
+    ///
+    /// Useful for giving each component (data, init, noise, attack) its own
+    /// stream so that adding draws to one does not perturb the others.
+    pub fn fork(&mut self, tag: u64) -> Prng {
+        let base = self.next_u64();
+        Prng::new(base ^ tag.wrapping_mul(0x2545_F491_4F6C_DD1D))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        // 24 high-quality mantissa bits.
+        (self.next_u64() >> 40) as f32 / (1u32 << 24) as f32
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn uniform_in(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is undefined");
+        // Modulo bias is negligible for the small n used here (< 2^32).
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn normal(&mut self) -> f32 {
+        // Avoid ln(0).
+        let u1 = (1.0 - self.uniform()).max(f32::MIN_POSITIVE);
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        r * (std::f32::consts::TAU * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal()
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    pub fn bernoulli(&mut self, p: f32) -> bool {
+        self.uniform() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// A random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut p);
+        p
+    }
+
+    /// Tensor of i.i.d. uniform samples in `[lo, hi)`.
+    pub fn uniform_tensor(&mut self, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+        Tensor::from_fn(dims, |_| self.uniform_in(lo, hi))
+    }
+
+    /// Tensor of i.i.d. normal samples — the paper's Gaussian perturbation
+    /// source (`μ = 0`, `σ = 1` by default in §IV-B).
+    pub fn normal_tensor(&mut self, dims: &[usize], mean: f32, std: f32) -> Tensor {
+        Tensor::from_fn(dims, |_| self.normal_with(mean, std))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Prng::new(7);
+        let mut b = Prng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Prng::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = Prng::new(1);
+        for _ in 0..10_000 {
+            let v = rng.uniform();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let mut rng = Prng::new(2);
+        let mean: f32 = (0..50_000).map(|_| rng.uniform()).sum::<f32>() / 50_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Prng::new(3);
+        let n = 50_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_with_scales() {
+        let mut rng = Prng::new(4);
+        let n = 50_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal_with(3.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn below_covers_all_values() {
+        let mut rng = Prng::new(5);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.below(10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = Prng::new(6);
+        let p = rng.permutation(100);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_streams_are_independent_of_parent_consumption() {
+        let mut a = Prng::new(9);
+        let mut fork_a = a.fork(1);
+        let mut b = Prng::new(9);
+        let mut fork_b = b.fork(1);
+        assert_eq!(fork_a.next_u64(), fork_b.next_u64());
+        // Different tags give different streams.
+        let mut c = Prng::new(9);
+        let mut fork_c = c.fork(2);
+        assert_ne!(fork_a.next_u64(), fork_c.next_u64());
+    }
+
+    #[test]
+    fn tensors_have_requested_shape_and_range() {
+        let mut rng = Prng::new(10);
+        let t = rng.uniform_tensor(&[3, 4], -1.0, 1.0);
+        assert_eq!(t.shape().dims(), &[3, 4]);
+        assert!(t.as_slice().iter().all(|&v| (-1.0..1.0).contains(&v)));
+        let n = rng.normal_tensor(&[100], 0.0, 1.0);
+        assert!(n.is_finite());
+    }
+}

@@ -1,0 +1,255 @@
+//! Tensor shapes: dimension lists, strides and broadcasting rules.
+
+use std::fmt;
+
+/// The dimensions of a [`crate::Tensor`], outermost first (row-major).
+///
+/// A `Shape` is an immutable list of dimension sizes. Rank-0 (scalar) shapes
+/// are allowed and have one element.
+///
+/// # Example
+///
+/// ```
+/// use gandef_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.dim(1), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a dimension list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero; empty tensors are not supported by
+    /// this substrate (the paper's workloads never produce them).
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "zero-sized dimension in shape {dims:?}"
+        );
+        Shape { dims }
+    }
+
+    /// Creates a rank-0 (scalar) shape.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// Number of dimensions. Scalars have rank 0.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of all dimensions; 1 for scalars).
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// All dimensions, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    ///
+    /// The innermost dimension has stride 1. Scalars yield an empty vector.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank differs from the shape rank or any index
+    /// component is out of bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.dims.len(),
+            "index rank {} does not match shape rank {}",
+            index.len(),
+            self.dims.len()
+        );
+        let mut off = 0;
+        let strides = self.strides();
+        for (axis, (&i, &d)) in index.iter().zip(&self.dims).enumerate() {
+            assert!(i < d, "index {i} out of bounds for axis {axis} (size {d})");
+            off += i * strides[axis];
+        }
+        off
+    }
+
+    /// Computes the NumPy-style broadcast of two shapes.
+    ///
+    /// Shapes are aligned at the trailing dimensions; each pair of dimensions
+    /// must be equal or one of them must be 1.
+    ///
+    /// Returns `None` if the shapes are not broadcast-compatible.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gandef_tensor::Shape;
+    ///
+    /// let a = Shape::new(vec![4, 1, 3]);
+    /// let b = Shape::new(vec![5, 3]);
+    /// assert_eq!(a.broadcast(&b).unwrap().dims(), &[4, 5, 3]);
+    /// ```
+    pub fn broadcast(&self, other: &Shape) -> Option<Shape> {
+        let rank = self.rank().max(other.rank());
+        let mut dims = vec![0; rank];
+        for i in 0..rank {
+            let a = dim_from_end(&self.dims, i);
+            let b = dim_from_end(&other.dims, i);
+            dims[rank - 1 - i] = match (a, b) {
+                (a, b) if a == b => a,
+                (1, b) => b,
+                (a, 1) => a,
+                _ => return None,
+            };
+        }
+        Some(Shape::new(dims))
+    }
+
+    /// Whether this shape can broadcast *to* `target` (without shrinking).
+    pub fn broadcasts_to(&self, target: &Shape) -> bool {
+        match self.broadcast(target) {
+            Some(b) => b == *target,
+            None => false,
+        }
+    }
+}
+
+/// Size of the `i`-th dimension counted from the end; 1 when out of range
+/// (the broadcasting padding rule).
+fn dim_from_end(dims: &[usize], i: usize) -> usize {
+    if i < dims.len() {
+        dims[dims.len() - 1 - i]
+    } else {
+        1
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_and_numel() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(Shape::scalar().numel(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(vec![7]).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn offset_math() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 23);
+        assert_eq!(s.offset(&[1, 0, 2]), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_out_of_bounds_panics() {
+        Shape::new(vec![2, 2]).offset(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn zero_dim_rejected() {
+        Shape::new(vec![2, 0]);
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        let a = Shape::new(vec![4, 1, 3]);
+        let b = Shape::new(vec![5, 3]);
+        assert_eq!(a.broadcast(&b).unwrap().dims(), &[4, 5, 3]);
+        // Symmetric.
+        assert_eq!(b.broadcast(&a).unwrap().dims(), &[4, 5, 3]);
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        let a = Shape::scalar();
+        let b = Shape::new(vec![2, 2]);
+        assert_eq!(a.broadcast(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn broadcast_incompatible() {
+        let a = Shape::new(vec![3, 2]);
+        let b = Shape::new(vec![2, 3]);
+        assert!(a.broadcast(&b).is_none());
+    }
+
+    #[test]
+    fn broadcasts_to_is_directional() {
+        let small = Shape::new(vec![1, 3]);
+        let big = Shape::new(vec![5, 3]);
+        assert!(small.broadcasts_to(&big));
+        assert!(!big.broadcasts_to(&small));
+    }
+}

@@ -1,0 +1,60 @@
+//! Zero-knowledge defense shoot-out on the Fashion-MNIST stand-in: CLP vs
+//! CLS vs ZK-GanDef, evaluated on clean and FGSM inputs — a miniature of
+//! Table III's middle block (§V-A).
+//!
+//! ```text
+//! cargo run --release --example defense_comparison
+//! ```
+
+use zk_gandef_repro::attack::{Attack, Fgsm};
+use zk_gandef_repro::data::{generate, DatasetKind, GenSpec};
+use zk_gandef_repro::defense::defense::{Clp, Cls, Defense, GanDef, Vanilla};
+use zk_gandef_repro::defense::TrainConfig;
+use zk_gandef_repro::nn::{accuracy, zoo, Classifier, Net};
+use zk_gandef_repro::tensor::rng::Prng;
+
+fn main() {
+    let ds = generate(
+        DatasetKind::SynthFashion,
+        &GenSpec {
+            train: 800,
+            test: 100,
+            seed: 9,
+        },
+    );
+    let mut cfg = TrainConfig::quick(DatasetKind::SynthFashion);
+    cfg.epochs = 10;
+    cfg.lr = 0.003;
+    let gentle = cfg.clone().with_gamma(0.5); // MLP-scale γ
+
+    let defenses: Vec<(Box<dyn Defense>, &TrainConfig)> = vec![
+        (Box::new(Vanilla), &cfg),
+        (Box::new(Clp), &cfg),
+        (Box::new(Cls), &cfg),
+        (Box::new(GanDef::zero_knowledge()), &gentle),
+    ];
+
+    let attack = Fgsm::new(cfg.budget.eps);
+    println!("defense     | clean  | FGSM   | s/epoch | converged");
+    println!("------------|--------|--------|---------|----------");
+    for (defense, c) in defenses {
+        let mut rng = Prng::new(0);
+        let mut net = Net::new(zoo::mlp(28 * 28, 64, 10), &mut rng);
+        let report = defense.train(&mut net, &ds, c, &mut rng);
+        let clean = accuracy(&net.predict(&ds.test_x), &ds.test_y);
+        let mut arng = Prng::new(1);
+        let adv = attack.perturb(&net, &ds.test_x, &ds.test_y, &mut arng);
+        let robust = accuracy(&net.predict(&adv), &ds.test_y);
+        println!(
+            "{:<11} | {:>5.1}% | {:>5.1}% | {:>6.2}s | {}",
+            report.defense,
+            clean * 100.0,
+            robust * 100.0,
+            report.mean_epoch_seconds(),
+            if report.failed_to_converge(0.10) { "NO" } else { "yes" }
+        );
+    }
+    println!("\n(the paper's §V-D convergence pathology of CLP/CLS appears at the");
+    println!(" paper's (σ=1, λ=0.4) setting — the `fig5_convergence` harness");
+    println!(" reproduces the full four-setting study on the 32×32 dataset)");
+}

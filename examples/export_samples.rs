@@ -1,0 +1,58 @@
+//! Exports sample images from all three synthetic datasets — plus an
+//! original/adversarial pair — as PGM/PPM files for visual inspection.
+//!
+//! ```text
+//! cargo run --release --example export_samples
+//! ls samples/
+//! ```
+
+use zk_gandef_repro::attack::{Attack, Fgsm};
+use zk_gandef_repro::data::{export, generate, DatasetKind, GenSpec};
+use zk_gandef_repro::defense::defense::{Defense, Vanilla};
+use zk_gandef_repro::defense::TrainConfig;
+use zk_gandef_repro::nn::{zoo, Net};
+use zk_gandef_repro::tensor::rng::Prng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = std::path::Path::new("samples");
+
+    // A handful of images from each dataset.
+    for kind in DatasetKind::ALL {
+        let ds = generate(
+            kind,
+            &GenSpec {
+                train: 10,
+                test: 10,
+                seed: 7,
+            },
+        );
+        let prefix = match kind {
+            DatasetKind::SynthDigits => "digits",
+            DatasetKind::SynthFashion => "fashion",
+            DatasetKind::SynthCifar => "cifar",
+        };
+        let paths = export::save_batch(&ds.test_x, &ds.test_y, 10, out, prefix)?;
+        println!("{kind}: wrote {} images", paths.len());
+    }
+
+    // An original/adversarial pair from a quickly trained classifier.
+    let ds = generate(
+        DatasetKind::SynthDigits,
+        &GenSpec {
+            train: 600,
+            test: 10,
+            seed: 7,
+        },
+    );
+    let mut cfg = TrainConfig::quick(DatasetKind::SynthDigits);
+    cfg.epochs = 8;
+    cfg.lr = 0.003;
+    let mut rng = Prng::new(0);
+    let mut net = Net::new(zoo::mlp(28 * 28, 64, 10), &mut rng);
+    Vanilla.train(&mut net, &ds, &cfg, &mut rng);
+    let adv = Fgsm::new(cfg.budget.eps).perturb(&net, &ds.test_x, &ds.test_y, &mut rng);
+    export::save_batch(&ds.test_x, &ds.test_y, 3, out, "original")?;
+    export::save_batch(&adv, &ds.test_y, 3, out, "adversarial")?;
+    println!("wrote original/adversarial pairs under {}", out.display());
+    Ok(())
+}

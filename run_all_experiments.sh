@@ -1,0 +1,17 @@
+#!/bin/bash
+# Regenerates every paper artifact sequentially (see DESIGN.md §4).
+# Usage: ./run_all_experiments.sh [extra harness flags, e.g. --paper-scale]
+#
+# Binaries are built once up front and then invoked directly, so the run is
+# immune to concurrent source edits.
+set -u
+cd "$(dirname "$0")"
+mkdir -p results
+cargo build --release -p gandef-bench || exit 1
+for b in table3 table4 fig5_time fig5_convergence gamma_ablation \
+         prop1_entropy disc_capacity augmentation_ablation \
+         transfer_attack logit_signature; do
+  echo "=== $b $(date +%H:%M:%S) ==="
+  "./target/release/$b" "$@" 2>&1 | tee "results/${b}_run.log"
+done
+echo "ALL_EXPERIMENTS_DONE $(date +%H:%M:%S)"

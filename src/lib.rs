@@ -1,0 +1,20 @@
+//! Workspace façade for the ZK-GanDef reproduction.
+//!
+//! Re-exports every crate in the stack so examples and downstream users can
+//! depend on a single package:
+//!
+//! * [`tensor`] — dense f32 tensor math ([`gandef_tensor`])
+//! * [`autodiff`] — reverse-mode tape ([`gandef_autodiff`])
+//! * [`nn`] — layers, optimizers, model zoo ([`gandef_nn`])
+//! * [`data`] — synthetic datasets + preprocessing ([`gandef_data`])
+//! * [`attack`] — FGSM / BIM / PGD / DeepFool / CW ([`gandef_attack`])
+//! * [`defense`] — ZK-GanDef and all baselines ([`zk_gandef`])
+//!
+//! See `README.md` for a guided tour and `examples/` for runnable programs.
+
+pub use gandef_attack as attack;
+pub use gandef_autodiff as autodiff;
+pub use gandef_data as data;
+pub use gandef_nn as nn;
+pub use gandef_tensor as tensor;
+pub use zk_gandef as defense;

@@ -1,0 +1,64 @@
+//! Integration test: train → checkpoint → restore → identical behavior.
+
+use zk_gandef_repro::data::{generate, DatasetKind, GenSpec};
+use zk_gandef_repro::defense::defense::{Defense, Vanilla};
+use zk_gandef_repro::defense::TrainConfig;
+use zk_gandef_repro::nn::serialize::{restore_params, save_params};
+use zk_gandef_repro::nn::{zoo, Classifier, Net};
+use zk_gandef_repro::tensor::rng::Prng;
+
+#[test]
+fn trained_model_roundtrips_through_checkpoint() {
+    let ds = generate(
+        DatasetKind::SynthDigits,
+        &GenSpec {
+            train: 150,
+            test: 16,
+            seed: 21,
+        },
+    );
+    let mut cfg = TrainConfig::quick(DatasetKind::SynthDigits);
+    cfg.epochs = 3;
+
+    // Train a model and snapshot its behavior.
+    let mut rng = Prng::new(0);
+    let mut trained = Net::new(zoo::mlp(28 * 28, 24, 10), &mut rng);
+    Vanilla.train(&mut trained, &ds, &cfg, &mut rng);
+    let reference = trained.logits(&ds.test_x);
+
+    // Save, then restore into a *differently initialized* instance of the
+    // same architecture.
+    let path = std::env::temp_dir().join(format!(
+        "gandef-ckpt-{}.gndf",
+        std::process::id()
+    ));
+    save_params(&trained.params, &path).expect("save");
+    let mut fresh = Net::new(zoo::mlp(28 * 28, 24, 10), &mut Prng::new(999));
+    assert_ne!(
+        fresh.logits(&ds.test_x),
+        reference,
+        "fresh net must differ before restore"
+    );
+    restore_params(&mut fresh.params, &path).expect("restore");
+    assert_eq!(
+        fresh.logits(&ds.test_x),
+        reference,
+        "restored net must reproduce the trained net exactly"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn checkpoint_refuses_wrong_architecture() {
+    let mut rng = Prng::new(0);
+    let small = Net::new(zoo::mlp(28 * 28, 24, 10), &mut rng);
+    let path = std::env::temp_dir().join(format!(
+        "gandef-ckpt-wrong-{}.gndf",
+        std::process::id()
+    ));
+    save_params(&small.params, &path).expect("save");
+    // Different hidden width → shape mismatch.
+    let mut other = Net::new(zoo::mlp(28 * 28, 32, 10), &mut Prng::new(1));
+    assert!(restore_params(&mut other.params, &path).is_err());
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,90 @@
+//! Integration test of the Figure-3 evaluation framework: the
+//! preprocessing, attack and defense modules plug together end-to-end and
+//! produce the accuracy grid that Table III / Figure 4 report.
+
+use zk_gandef_repro::attack::AttackBudget;
+use zk_gandef_repro::data::{generate, DatasetKind, GenSpec};
+use zk_gandef_repro::defense::defense::{Defense, Vanilla};
+use zk_gandef_repro::defense::eval::{
+    evaluate, standard_attacks, AccuracyGrid, TABLE3_EXAMPLES,
+};
+use zk_gandef_repro::defense::TrainConfig;
+use zk_gandef_repro::nn::{zoo, Net};
+use zk_gandef_repro::tensor::rng::Prng;
+
+fn tiny_setup() -> (Net, zk_gandef_repro::data::Dataset, TrainConfig) {
+    let ds = generate(
+        DatasetKind::SynthDigits,
+        &GenSpec {
+            train: 500,
+            test: 24,
+            seed: 1,
+        },
+    );
+    let mut cfg = TrainConfig::quick(DatasetKind::SynthDigits);
+    cfg.epochs = 8;
+    cfg.lr = 0.003;
+    let mut rng = Prng::new(0);
+    let mut net = Net::new(zoo::mlp(28 * 28, 64, 10), &mut rng);
+    Vanilla.train(&mut net, &ds, &cfg, &mut rng);
+    (net, ds, cfg)
+}
+
+#[test]
+fn framework_produces_full_table3_row() {
+    let (net, ds, cfg) = tiny_setup();
+    let attacks = standard_attacks(&cfg.budget);
+    let mut rng = Prng::new(2);
+    let rows = evaluate(&net, &attacks, &ds.test_x, &ds.test_y, &mut rng);
+    // One column per Table-III example type, in order.
+    let names: Vec<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, TABLE3_EXAMPLES.to_vec());
+    for (name, acc) in &rows {
+        assert!((0.0..=1.0).contains(acc), "{name} accuracy {acc}");
+    }
+    // A trained Vanilla net: decent on clean, destroyed by iterative attacks.
+    assert!(rows[0].1 > 0.6, "clean accuracy {:.2} too low", rows[0].1);
+    assert!(rows[3].1 < rows[0].1, "PGD must hurt a Vanilla classifier");
+}
+
+#[test]
+fn framework_attacks_are_weaker_to_stronger() {
+    let (net, ds, cfg) = tiny_setup();
+    let attacks = standard_attacks(&cfg.budget);
+    let mut rng = Prng::new(3);
+    let rows = evaluate(&net, &attacks, &ds.test_x, &ds.test_y, &mut rng);
+    let acc: Vec<f32> = rows.iter().map(|(_, a)| *a).collect();
+    // Original ≥ FGSM ≥ BIM ≈ PGD (allow small noise at 16 samples).
+    assert!(acc[0] >= acc[1] - 0.1, "FGSM should not beat clean");
+    assert!(acc[1] >= acc[2] - 0.1, "BIM should not be weaker than FGSM");
+}
+
+#[test]
+fn grid_records_multiple_defenses_and_renders() {
+    let (net, ds, cfg) = tiny_setup();
+    let attacks = standard_attacks(&cfg.budget);
+    let mut grid = AccuracyGrid::new();
+    let mut rng = Prng::new(4);
+    for defense_name in ["Vanilla", "SecondRun"] {
+        let rows = evaluate(&net, &attacks, &ds.test_x, &ds.test_y, &mut rng);
+        for (example, acc) in rows {
+            grid.record(defense_name, "SynthDigits", &example, acc);
+        }
+    }
+    assert_eq!(grid.defenses().len(), 2);
+    assert_eq!(grid.datasets(), vec!["SynthDigits"]);
+    let md = grid.to_markdown(&TABLE3_EXAMPLES);
+    assert!(md.contains("### SynthDigits"));
+    assert!(md.contains("| Vanilla |"));
+    let csv = grid.to_csv();
+    assert_eq!(csv.lines().count(), 1 + 2 * 4, "header + 2 defenses × 4 examples");
+}
+
+#[test]
+fn budgets_route_per_dataset() {
+    // The framework must apply §IV-C budgets per dataset family.
+    let small = TrainConfig::quick(DatasetKind::SynthDigits).budget;
+    let big = TrainConfig::quick(DatasetKind::SynthCifar).budget;
+    assert_eq!(small, AttackBudget::for_28x28());
+    assert_eq!(big, AttackBudget::for_32x32());
+}
