@@ -99,7 +99,10 @@ mod tests {
         let targets = one_hot(y, 10);
         let (l1, _) = net.ce_input_grad(&one, &targets);
         let (l8, _) = net.ce_input_grad(&eight, &targets);
-        assert!(l8 >= l1 * 0.9, "8-step loss {l8} much lower than 1-step {l1}");
+        assert!(
+            l8 >= l1 * 0.9,
+            "8-step loss {l8} much lower than 1-step {l1}"
+        );
     }
 
     #[test]

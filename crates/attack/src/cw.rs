@@ -214,9 +214,11 @@ mod tests {
         for &i in &fooled {
             let d = adv.sub(&x);
             let slice = &d.as_slice()[i * row..(i + 1) * row];
-            let mean_abs: f32 =
-                slice.iter().map(|v| v.abs()).sum::<f32>() / row as f32;
-            assert!(mean_abs < 0.45, "sample {i} distortion {mean_abs} ~saturated");
+            let mean_abs: f32 = slice.iter().map(|v| v.abs()).sum::<f32>() / row as f32;
+            assert!(
+                mean_abs < 0.45,
+                "sample {i} distortion {mean_abs} ~saturated"
+            );
         }
     }
 
@@ -227,8 +229,17 @@ mod tests {
         let y = &y[..16];
         let soft = CarliniWagner::new(0.6, 25).with_c(0.1);
         let hard = CarliniWagner::new(0.6, 25).with_c(10.0);
-        let acc_soft = accuracy(&net.predict(&soft.perturb(&net, &x, y, &mut Prng::new(0))), y);
-        let acc_hard = accuracy(&net.predict(&hard.perturb(&net, &x, y, &mut Prng::new(0))), y);
-        assert!(acc_hard <= acc_soft + 0.15, "c=10 ({acc_hard}) vs c=0.1 ({acc_soft})");
+        let acc_soft = accuracy(
+            &net.predict(&soft.perturb(&net, &x, y, &mut Prng::new(0))),
+            y,
+        );
+        let acc_hard = accuracy(
+            &net.predict(&hard.perturb(&net, &x, y, &mut Prng::new(0))),
+            y,
+        );
+        assert!(
+            acc_hard <= acc_soft + 0.15,
+            "c=10 ({acc_hard}) vs c=0.1 ({acc_soft})"
+        );
     }
 }

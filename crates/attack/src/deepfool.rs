@@ -76,9 +76,8 @@ impl Attack for DeepFool {
             let mut delta = Tensor::zeros(x.shape().dims());
             for &i in &active {
                 let orig = labels[i];
-                let g_orig: Vec<f32> = class_grads[orig].as_slice()
-                    [i * row_elems..(i + 1) * row_elems]
-                    .to_vec();
+                let g_orig: Vec<f32> =
+                    class_grads[orig].as_slice()[i * row_elems..(i + 1) * row_elems].to_vec();
                 let z_orig = z.at(&[i, orig]);
                 let mut best: Option<(f32, Vec<f32>, f32)> = None; // (ratio, w, f)
                 for k in 0..classes {

@@ -55,6 +55,7 @@ pub use pgd::Pgd;
 pub use targeted::{TargetRule, TargetedPgd};
 
 use gandef_nn::Classifier;
+use gandef_tensor::pool;
 use gandef_tensor::rng::Prng;
 use gandef_tensor::Tensor;
 
@@ -64,7 +65,11 @@ pub const PIXEL_MIN: f32 = -1.0;
 pub const PIXEL_MAX: f32 = 1.0;
 
 /// A white-box adversarial example generator.
-pub trait Attack {
+///
+/// `Sync` is required so [`perturb_chunked`] can fan chunks out across the
+/// worker pool; generators keep their configuration immutable and thread
+/// all randomness through the explicit `rng` argument.
+pub trait Attack: Sync {
     /// Short display name ("FGSM", "PGD", ...).
     fn name(&self) -> &str;
 
@@ -150,7 +155,13 @@ pub fn project(adv: &Tensor, origin: &Tensor, eps: f32) -> Tensor {
 }
 
 /// Runs `attack` over `x` in chunks of `chunk` rows — bounds peak memory
-/// when attacking large test sets.
+/// when attacking large test sets, and runs the chunks concurrently on the
+/// worker pool (each chunk is an independent optimization problem).
+///
+/// Every chunk draws from its own stream forked off `rng` by chunk index,
+/// so the output is deterministic for a given seed regardless of pool
+/// size. RNG-free attacks (FGSM, BIM) therefore produce bit-identical
+/// results whether chunked or not.
 ///
 /// # Panics
 ///
@@ -169,18 +180,21 @@ pub fn perturb_chunked(
     if n <= chunk {
         return attack.perturb(model, x, labels, rng);
     }
-    let mut parts = Vec::new();
-    let mut start = 0;
-    while start < n {
-        let end = (start + chunk).min(n);
-        parts.push(attack.perturb(
+    let bounds: Vec<(usize, usize)> = (0..n)
+        .step_by(chunk)
+        .map(|start| (start, (start + chunk).min(n)))
+        .collect();
+    let rngs: Vec<Prng> = (0..bounds.len()).map(|i| rng.fork(i as u64)).collect();
+    let parts = pool::parallel_tasks(bounds.len(), |i| {
+        let (start, end) = bounds[i];
+        let mut chunk_rng = rngs[i].clone();
+        attack.perturb(
             model,
             &x.slice_rows(start, end),
             &labels[start..end],
-            rng,
-        ));
-        start = end;
-    }
+            &mut chunk_rng,
+        )
+    });
     let refs: Vec<&Tensor> = parts.iter().collect();
     Tensor::concat_rows(&refs)
 }

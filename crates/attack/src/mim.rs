@@ -116,7 +116,10 @@ mod tests {
             mim_acc <= fgsm_acc + 0.05,
             "MIM ({mim_acc}) should not be weaker than FGSM ({fgsm_acc})"
         );
-        assert!(mim_acc < 0.2, "MIM should devastate a Vanilla net, got {mim_acc}");
+        assert!(
+            mim_acc < 0.2,
+            "MIM should devastate a Vanilla net, got {mim_acc}"
+        );
     }
 
     #[test]
@@ -126,7 +129,9 @@ mod tests {
         let (net, x, y) = trained_digits_net();
         let x = x.slice_rows(0, 4);
         let mut rng = Prng::new(0);
-        let mim = Mim::new(0.6, 0.1, 4).with_decay(0.0).perturb(&net, &x, &y[..4], &mut rng);
+        let mim = Mim::new(0.6, 0.1, 4)
+            .with_decay(0.0)
+            .perturb(&net, &x, &y[..4], &mut rng);
         let bim = crate::Bim::new(0.6, 0.1, 4).perturb(&net, &x, &y[..4], &mut rng);
         assert!(mim.allclose(&bim, 1e-5));
     }

@@ -141,7 +141,10 @@ mod tests {
         // PGD ≤ BIM ≤ FGSM in surviving accuracy.
         let (net, x, y) = trained_digits_net();
         let mut rng = Prng::new(0);
-        let fgsm_acc = accuracy(&net.predict(&Fgsm::new(0.6).perturb(&net, &x, &y, &mut rng)), &y);
+        let fgsm_acc = accuracy(
+            &net.predict(&Fgsm::new(0.6).perturb(&net, &x, &y, &mut rng)),
+            &y,
+        );
         let bim_acc = accuracy(
             &net.predict(&Bim::new(0.6, 0.1, 8).perturb(&net, &x, &y, &mut rng)),
             &y,
@@ -151,8 +154,14 @@ mod tests {
             &y,
         );
         assert!(pgd_acc <= bim_acc + 0.05, "PGD {pgd_acc} vs BIM {bim_acc}");
-        assert!(bim_acc <= fgsm_acc + 0.05, "BIM {bim_acc} vs FGSM {fgsm_acc}");
-        assert!(pgd_acc < 0.15, "PGD should devastate a Vanilla net, got {pgd_acc}");
+        assert!(
+            bim_acc <= fgsm_acc + 0.05,
+            "BIM {bim_acc} vs FGSM {fgsm_acc}"
+        );
+        assert!(
+            pgd_acc < 0.15,
+            "PGD should devastate a Vanilla net, got {pgd_acc}"
+        );
     }
 
     #[test]
@@ -174,8 +183,7 @@ mod tests {
         let x = x.slice_rows(0, 16);
         let y = &y[..16];
         let one = Pgd::new(0.6, 0.05, 5).perturb(&net, &x, y, &mut Prng::new(3));
-        let three =
-            Pgd::with_restarts(0.6, 0.05, 5, 3).perturb(&net, &x, y, &mut Prng::new(3));
+        let three = Pgd::with_restarts(0.6, 0.05, 5, 3).perturb(&net, &x, y, &mut Prng::new(3));
         let loss = |adv: &Tensor| per_sample_loss(&net, adv, y).iter().sum::<f32>();
         assert!(loss(&three) >= loss(&one) * 0.95);
     }

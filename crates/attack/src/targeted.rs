@@ -73,9 +73,7 @@ impl TargetedPgd {
                 (0..labels.len())
                     .map(|i| {
                         (0..classes)
-                            .min_by(|&a, &b| {
-                                z.at(&[i, a]).partial_cmp(&z.at(&[i, b])).unwrap()
-                            })
+                            .min_by(|&a, &b| z.at(&[i, a]).partial_cmp(&z.at(&[i, b])).unwrap())
                             .unwrap()
                     })
                     .collect()
@@ -131,12 +129,8 @@ mod tests {
         let targets = attack.targets(&net, &x, &y);
         let adv = attack.perturb(&net, &x, &y, &mut Prng::new(0));
         let preds = net.predict(&adv);
-        let hit = preds
-            .iter()
-            .zip(&targets)
-            .filter(|(p, t)| p == t)
-            .count() as f32
-            / y.len() as f32;
+        let hit =
+            preds.iter().zip(&targets).filter(|(p, t)| p == t).count() as f32 / y.len() as f32;
         assert!(
             hit > 0.5,
             "targeted attack only reached its target on {hit} of samples"

@@ -1,82 +1,89 @@
-//! Property-based tests for the attack crate's invariants.
+//! Property-based tests for the attack crate's invariants. Uses the
+//! in-repo [`check`] helper (deterministic seeded cases, no external
+//! framework).
 
 use gandef_attack::{project, Attack, AttackBudget, Bim, Fgsm};
 use gandef_nn::layer::{Act, Dense, Sequential};
 use gandef_nn::Net;
+use gandef_tensor::check::{self, Gen};
 use gandef_tensor::rng::Prng;
-use proptest::prelude::*;
 
-fn tiny_net(seed: u64) -> Net {
+fn tiny_net(g: &mut Gen) -> Net {
     let model = Sequential::new(vec![
         Box::new(Dense::new("a", 8, 12, Some(Act::Tanh))),
         Box::new(Dense::new("b", 12, 10, None)),
     ]);
-    Net::with_classes(model, 10, &mut Prng::new(seed))
+    Net::with_classes(model, 10, g.rng())
 }
 
-proptest! {
-    #[test]
-    fn projection_is_idempotent_and_feasible(
-        seed in 0u64..1000, eps in 0.01f32..1.0
-    ) {
-        let mut rng = Prng::new(seed);
-        let origin = rng.uniform_tensor(&[3, 8], -1.0, 1.0);
-        let wild = rng.uniform_tensor(&[3, 8], -5.0, 5.0);
+#[test]
+fn projection_is_idempotent_and_feasible() {
+    check::cases(64, |g| {
+        let eps = g.f32_in(0.01, 1.0);
+        let origin = g.tensor(&[3, 8], -1.0, 1.0);
+        let wild = g.tensor(&[3, 8], -5.0, 5.0);
         let p = project(&wild, &origin, eps);
         // Inside the ball and the pixel range.
-        prop_assert!(p.sub(&origin).linf_norm() <= eps + 1e-6);
-        prop_assert!(p.min_value() >= -1.0 && p.max_value() <= 1.0);
+        assert!(p.sub(&origin).linf_norm() <= eps + 1e-6);
+        assert!(p.min_value() >= -1.0 && p.max_value() <= 1.0);
         // Idempotent.
-        prop_assert_eq!(project(&p, &origin, eps), p);
-    }
+        assert_eq!(project(&p, &origin, eps), p);
+    });
+}
 
-    #[test]
-    fn projection_preserves_feasible_points(seed in 0u64..1000, eps in 0.1f32..1.0) {
-        let mut rng = Prng::new(seed);
-        let origin = rng.uniform_tensor(&[2, 8], -0.5, 0.5);
+#[test]
+fn projection_preserves_feasible_points() {
+    check::cases(64, |g| {
+        let eps = g.f32_in(0.1, 1.0);
+        let origin = g.tensor(&[2, 8], -0.5, 0.5);
         // A point already within eps/2 and in range must be untouched.
-        let nearby = origin.add(&rng.uniform_tensor(&[2, 8], -eps * 0.5, eps * 0.5));
+        let nearby = origin.add(&g.tensor(&[2, 8], -eps * 0.5, eps * 0.5));
         let nearby = nearby.clamp(-1.0, 1.0);
-        prop_assert_eq!(project(&nearby, &origin, eps), nearby);
-    }
+        assert_eq!(project(&nearby, &origin, eps), nearby);
+    });
+}
 
-    #[test]
-    fn fgsm_always_feasible_for_any_model_and_eps(
-        seed in 0u64..300, eps in 0.01f32..1.0
-    ) {
-        let net = tiny_net(seed);
-        let mut rng = Prng::new(seed ^ 0xF);
-        let x = rng.uniform_tensor(&[4, 8], -1.0, 1.0);
+#[test]
+fn fgsm_always_feasible_for_any_model_and_eps() {
+    check::cases(32, |g| {
+        let eps = g.f32_in(0.01, 1.0);
+        let net = tiny_net(g);
+        let x = g.tensor(&[4, 8], -1.0, 1.0);
         let labels = vec![0usize, 1, 2, 3];
+        let mut rng = Prng::new(g.rng().next_u64());
         let adv = Fgsm::new(eps).perturb(&net, &x, &labels, &mut rng);
-        prop_assert!(adv.sub(&x).linf_norm() <= eps + 1e-5);
-        prop_assert!(adv.min_value() >= -1.0 && adv.max_value() <= 1.0);
-        prop_assert!(adv.is_finite());
-    }
+        assert!(adv.sub(&x).linf_norm() <= eps + 1e-5);
+        assert!(adv.min_value() >= -1.0 && adv.max_value() <= 1.0);
+        assert!(adv.is_finite());
+    });
+}
 
-    #[test]
-    fn bim_stays_feasible_across_iterations(
-        seed in 0u64..300, iters in 1usize..6
-    ) {
-        let net = tiny_net(seed);
-        let mut rng = Prng::new(seed ^ 0xB);
-        let x = rng.uniform_tensor(&[3, 8], -1.0, 1.0);
+#[test]
+fn bim_stays_feasible_across_iterations() {
+    check::cases(32, |g| {
+        let iters = g.usize_in(1, 5);
+        let net = tiny_net(g);
+        let x = g.tensor(&[3, 8], -1.0, 1.0);
         let labels = vec![4usize, 5, 6];
+        let mut rng = Prng::new(g.rng().next_u64());
         let adv = Bim::new(0.5, 0.2, iters).perturb(&net, &x, &labels, &mut rng);
-        prop_assert!(adv.sub(&x).linf_norm() <= 0.5 + 1e-5);
-        prop_assert!(adv.min_value() >= -1.0 && adv.max_value() <= 1.0);
-    }
+        assert!(adv.sub(&x).linf_norm() <= 0.5 + 1e-5);
+        assert!(adv.min_value() >= -1.0 && adv.max_value() <= 1.0);
+    });
+}
 
-    #[test]
-    fn training_variant_spans_the_ball(iters in 1usize..50) {
+#[test]
+fn training_variant_spans_the_ball() {
+    check::cases(64, |g| {
+        let iters = g.usize_in(1, 49);
         for budget in [AttackBudget::for_28x28(), AttackBudget::for_32x32()] {
             let t = budget.training_variant(iters);
-            prop_assert_eq!(t.eps, budget.eps);
-            prop_assert_eq!(t.pgd_iters, iters);
+            assert_eq!(t.eps, budget.eps);
+            assert_eq!(t.pgd_iters, iters);
             // Total reachable distance covers the ball.
-            prop_assert!(t.pgd_step * iters as f32 >= t.eps - 1e-6);
+            assert!(t.pgd_step * iters as f32 >= t.eps - 1e-6);
             // Per-step never exceeds the ball radius.
-            prop_assert!(t.pgd_step <= t.eps + 1e-6);
+            assert!(t.pgd_step <= t.eps + 1e-6);
         }
-    }
+    });
 }

@@ -43,10 +43,7 @@ mod tests {
     fn quadratic_gradient() {
         let x = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]);
         let g = numeric_grad(|t| t.square().sum(), &x, 1e-3);
-        assert!(g.allclose(
-            &Tensor::from_vec(vec![3], vec![2.0, 4.0, 6.0]),
-            1e-2
-        ));
+        assert!(g.allclose(&Tensor::from_vec(vec![3], vec![2.0, 4.0, 6.0]), 1e-2));
     }
 
     #[test]

@@ -22,9 +22,7 @@ impl Tape {
         self.push(
             value,
             vec![a, b],
-            Some(Box::new(move |g| {
-                vec![g.reduce_to(&sa), g.reduce_to(&sb)]
-            })),
+            Some(Box::new(move |g| vec![g.reduce_to(&sa), g.reduce_to(&sb)])),
         )
     }
 
@@ -259,11 +257,7 @@ impl Tape {
     ///
     /// Panics if shapes differ.
     pub fn dot_const(&mut self, x: VarId, w: &Tensor) -> VarId {
-        assert_eq!(
-            self.value(x).shape(),
-            w.shape(),
-            "dot_const shape mismatch"
-        );
+        assert_eq!(self.value(x).shape(), w.shape(), "dot_const shape mismatch");
         let value = Tensor::scalar(self.value(x).mul(w).sum());
         let w = w.clone();
         self.push(
@@ -432,11 +426,7 @@ impl Tape {
             }
         });
         let value = self.value(x).mul(&mask);
-        self.push(
-            value,
-            vec![x],
-            Some(Box::new(move |g| vec![g.mul(&mask)])),
-        )
+        self.push(value, vec![x], Some(Box::new(move |g| vec![g.mul(&mask)])))
     }
 }
 
@@ -447,11 +437,7 @@ mod tests {
 
     /// Checks the tape gradient of `build` (a scalar-valued tape program in
     /// one input) against central finite differences.
-    fn check_input_grad(
-        x0: &Tensor,
-        build: impl Fn(&mut Tape, VarId) -> VarId,
-        tol: f32,
-    ) {
+    fn check_input_grad(x0: &Tensor, build: impl Fn(&mut Tape, VarId) -> VarId, tol: f32) {
         let mut tape = Tape::new();
         let x = tape.leaf(x0.clone());
         let loss = build(&mut tape, x);
@@ -671,11 +657,7 @@ mod tests {
         assert!((tape.value(loss).item() - expect).abs() < 1e-5);
 
         // Gradient against finite differences.
-        check_input_grad(
-            &z0,
-            |t, x| t.softmax_cross_entropy(x, &targets),
-            1e-2,
-        );
+        check_input_grad(&z0, |t, x| t.softmax_cross_entropy(x, &targets), 1e-2);
     }
 
     #[test]

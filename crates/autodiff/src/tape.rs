@@ -105,10 +105,7 @@ impl Tape {
             self.nodes[root.0].value.shape()
         );
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
-        grads[root.0] = Some(Tensor::full(
-            self.nodes[root.0].value.shape().dims(),
-            1.0,
-        ));
+        grads[root.0] = Some(Tensor::full(self.nodes[root.0].value.shape().dims(), 1.0));
         // Construction order is topological: children always have larger
         // indices than parents, so one reverse pass suffices.
         for i in (0..=root.0).rev() {

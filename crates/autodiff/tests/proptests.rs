@@ -1,28 +1,34 @@
 //! Property-based tests for the autodiff tape: calculus laws that must hold
-//! for arbitrary inputs.
+//! for arbitrary inputs. Uses the in-repo [`check`] helper (deterministic
+//! seeded cases, no external framework).
 
 use gandef_autodiff::{numeric_grad, Tape};
-use gandef_tensor::rng::Prng;
+use gandef_tensor::check;
 use gandef_tensor::Tensor;
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn gradient_of_sum_is_ones(rows in 1usize..5, cols in 1usize..5, seed in 0u64..1000) {
-        let mut rng = Prng::new(seed);
-        let x0 = rng.uniform_tensor(&[rows, cols], -2.0, 2.0);
+#[test]
+fn gradient_of_sum_is_ones() {
+    check::cases(64, |g| {
+        let rows = g.usize_in(1, 4);
+        let cols = g.usize_in(1, 4);
+        let x0 = g.tensor(&[rows, cols], -2.0, 2.0);
         let mut tape = Tape::new();
         let x = tape.leaf(x0);
         let s = tape.sum_all(x);
         let grads = tape.backward(s);
-        prop_assert!(grads.get(x).unwrap().allclose(&Tensor::ones(&[rows, cols]), 1e-6));
-    }
+        assert!(grads
+            .get(x)
+            .unwrap()
+            .allclose(&Tensor::ones(&[rows, cols]), 1e-6));
+    });
+}
 
-    #[test]
-    fn backward_is_linear_in_scale(alpha in -3.0f32..3.0, seed in 0u64..1000) {
+#[test]
+fn backward_is_linear_in_scale() {
+    check::cases(64, |g| {
         // ∇(α·f) == α·∇f
-        let mut rng = Prng::new(seed);
-        let x0 = rng.uniform_tensor(&[3, 3], -1.0, 1.0);
+        let alpha = g.f32_in(-3.0, 3.0);
+        let x0 = g.tensor(&[3, 3], -1.0, 1.0);
 
         let grad_of = |scale: f32| {
             let mut tape = Tape::new();
@@ -35,14 +41,15 @@ proptest! {
         };
         let g1 = grad_of(1.0);
         let ga = grad_of(alpha);
-        prop_assert!(ga.allclose(&g1.scale(alpha), 1e-4));
-    }
+        assert!(ga.allclose(&g1.scale(alpha), 1e-4));
+    });
+}
 
-    #[test]
-    fn sum_rule_for_gradients(seed in 0u64..1000) {
+#[test]
+fn sum_rule_for_gradients() {
+    check::cases(64, |g| {
         // ∇(f + g) == ∇f + ∇g, with f = Σx², g = Σ tanh(x).
-        let mut rng = Prng::new(seed);
-        let x0 = rng.uniform_tensor(&[2, 4], -1.5, 1.5);
+        let x0 = g.tensor(&[2, 4], -1.5, 1.5);
 
         let grad_sum = {
             let mut tape = Tape::new();
@@ -71,15 +78,16 @@ proptest! {
             let grads = tape.backward(g);
             grads.get(x).unwrap().clone()
         };
-        prop_assert!(grad_sum.allclose(&grad_f.add(&grad_g), 1e-4));
-    }
+        assert!(grad_sum.allclose(&grad_f.add(&grad_g), 1e-4));
+    });
+}
 
-    #[test]
-    fn chain_rule_matches_finite_difference(seed in 0u64..200) {
+#[test]
+fn chain_rule_matches_finite_difference() {
+    check::cases(24, |g| {
         // A random 3-layer smooth composite; FD is the ground truth.
-        let mut rng = Prng::new(seed);
-        let x0 = rng.uniform_tensor(&[2, 3], -1.0, 1.0);
-        let w0 = rng.uniform_tensor(&[3, 4], -0.7, 0.7);
+        let x0 = g.tensor(&[2, 3], -1.0, 1.0);
+        let w0 = g.tensor(&[3, 4], -0.7, 0.7);
 
         let run = |input: &Tensor| {
             let mut tape = Tape::new();
@@ -102,54 +110,59 @@ proptest! {
             &x0,
             1e-3,
         );
-        prop_assert!(analytic.allclose(&numeric, 5e-2));
-    }
+        assert!(analytic.allclose(&numeric, 5e-2));
+    });
+}
 
-    #[test]
-    fn softmax_ce_gradient_rows_sum_to_zero(
-        rows in 1usize..5, cols in 2usize..6, seed in 0u64..1000
-    ) {
+#[test]
+fn softmax_ce_gradient_rows_sum_to_zero() {
+    check::cases(64, |g| {
         // The softmax-CE gradient (softmax − onehot)/N sums to 0 per row.
-        let mut rng = Prng::new(seed);
-        let z0 = rng.uniform_tensor(&[rows, cols], -3.0, 3.0);
+        let rows = g.usize_in(1, 4);
+        let cols = g.usize_in(2, 5);
+        let z0 = g.tensor(&[rows, cols], -3.0, 3.0);
         let mut targets = Tensor::zeros(&[rows, cols]);
         for r in 0..rows {
-            let c = rng.below(cols);
+            let c = g.usize_in(0, cols - 1);
             targets.set(&[r, c], 1.0);
         }
         let mut tape = Tape::new();
         let z = tape.leaf(z0);
         let loss = tape.softmax_cross_entropy(z, &targets);
         let grads = tape.backward(loss);
-        let g = grads.get(z).unwrap();
+        let grad = grads.get(z).unwrap();
         for r in 0..rows {
-            let row_sum: f32 = (0..cols).map(|c| g.at(&[r, c])).sum();
-            prop_assert!(row_sum.abs() < 1e-5);
+            let row_sum: f32 = (0..cols).map(|c| grad.at(&[r, c])).sum();
+            assert!(row_sum.abs() < 1e-5);
         }
-    }
+    });
+}
 
-    #[test]
-    fn bce_gradient_sign_tracks_prediction_error(z0 in -5.0f32..5.0, y in 0u8..2) {
-        let y = y as f32;
+#[test]
+fn bce_gradient_sign_tracks_prediction_error() {
+    check::cases(64, |g| {
+        let z0 = g.f32_in(-5.0, 5.0);
+        let y = if g.bool(0.5) { 1.0f32 } else { 0.0 };
         let mut tape = Tape::new();
         let z = tape.leaf(Tensor::from_vec(vec![1, 1], vec![z0]));
         let t = Tensor::from_vec(vec![1, 1], vec![y]);
         let loss = tape.bce_with_logits(z, &t);
         let grads = tape.backward(loss);
-        let g = grads.get(z).unwrap().item();
+        let grad = grads.get(z).unwrap().item();
         // grad = σ(z) − y: positive when over-predicting, negative when under.
         let sigma = 1.0 / (1.0 + (-z0).exp());
-        prop_assert!((g - (sigma - y)).abs() < 1e-5);
-    }
+        assert!((grad - (sigma - y)).abs() < 1e-5);
+    });
+}
 
-    #[test]
-    fn detach_produces_identical_forward(seed in 0u64..1000) {
-        let mut rng = Prng::new(seed);
-        let x0 = rng.uniform_tensor(&[2, 2], -1.0, 1.0);
+#[test]
+fn detach_produces_identical_forward() {
+    check::cases(64, |g| {
+        let x0 = g.tensor(&[2, 2], -1.0, 1.0);
         let mut tape = Tape::new();
         let x = tape.leaf(x0);
         let y = tape.square(x);
         let d = tape.detach(y);
-        prop_assert_eq!(tape.value(d), tape.value(y));
-    }
+        assert_eq!(tape.value(d), tape.value(y));
+    });
 }

@@ -1,0 +1,186 @@
+//! Tensor-kernel micro-benchmarks.
+//!
+//! Measures the hot kernels the training loop bottoms out in — the three
+//! GEMM variants, im2col convolution, and pooled elementwise/reduction
+//! loops — and writes `BENCH_tensor.json` so the perf trajectory is
+//! tracked in-repo PR over PR.
+//!
+//! Also times a faithful reimplementation of the pre-pool seed kernel
+//! (`ikj` loops with a zero-skip branch, fresh OS threads spawned per
+//! call) under `matmul_seed_ikj`, so the speedup of the blocked/packed
+//! kernel is part of the recorded data: divide the two `ns_per_iter`
+//! values to get it.
+//!
+//! Usage: `bench_kernels [--smoke] [--out PATH]` (default
+//! `BENCH_tensor.json` in the current directory; `--smoke` shrinks sizes
+//! and sample counts for CI sanity runs).
+
+use gandef_bench::microbench::{self, Measurement};
+use gandef_tensor::conv::{self, ConvSpec};
+use gandef_tensor::linalg;
+use gandef_tensor::rng::Prng;
+use gandef_tensor::{pool, Tensor};
+
+/// The seed repository's GEMM: naive `ikj` with a zero-skip branch, rows
+/// fanned out over freshly spawned OS threads on every call (the pattern
+/// this PR's persistent pool replaced). Kept verbatim as the benchmark
+/// baseline.
+fn seed_ikj_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dim(0), a.dim(1));
+    let n = b.dim(1);
+    let (a, b) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .min(8);
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (ti, chunk) in out.chunks_mut(rows_per * n).enumerate() {
+            scope.spawn(move || {
+                for (ri, crow) in chunk.chunks_mut(n).enumerate() {
+                    let i = ti * rows_per + ri;
+                    for kk in 0..k {
+                        let aval = a[i * k + kk];
+                        if aval == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[kk * n..(kk + 1) * n];
+                        for (cv, &bv) in crow.iter_mut().zip(brow) {
+                            *cv += aval * bv;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    Tensor::from_vec(vec![m, n], out)
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_tensor.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            other => {
+                eprintln!("unknown flag {other}; supported: --smoke --out PATH");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let dim = if smoke { 128 } else { 256 };
+    let (warmup, samples) = if smoke { (1, 3) } else { (3, 9) };
+    let mut rng = Prng::new(42);
+
+    let a = rng.uniform_tensor(&[dim, dim], -1.0, 1.0);
+    let b = rng.uniform_tensor(&[dim, dim], -1.0, 1.0);
+    let gemm_flops = 2 * (dim as u64).pow(3);
+    let gemm_shape = format!("{dim}x{dim}x{dim}");
+
+    let mut results: Vec<Measurement> = Vec::new();
+    results.push(microbench::run(
+        "matmul",
+        &gemm_shape,
+        gemm_flops,
+        warmup,
+        samples,
+        || linalg::matmul(&a, &b),
+    ));
+    results.push(microbench::run(
+        "matmul_seed_ikj",
+        &gemm_shape,
+        gemm_flops,
+        warmup,
+        samples,
+        || seed_ikj_matmul(&a, &b),
+    ));
+    results.push(microbench::run(
+        "matmul_tn",
+        &gemm_shape,
+        gemm_flops,
+        warmup,
+        samples,
+        || linalg::matmul_tn(&a, &b),
+    ));
+    results.push(microbench::run(
+        "matmul_nt",
+        &gemm_shape,
+        gemm_flops,
+        warmup,
+        samples,
+        || linalg::matmul_nt(&a, &b),
+    ));
+
+    let batch = if smoke { 8 } else { 32 };
+    let img = rng.uniform_tensor(&[batch, 3, 32, 32], -1.0, 1.0);
+    let filt = rng.uniform_tensor(&[16, 3, 3, 3], -0.5, 0.5);
+    let spec = ConvSpec { stride: 1, pad: 1 };
+    // 2 · N · O · Ho · Wo · C · kh · kw multiply-adds.
+    let conv_flops = 2 * (batch as u64) * 16 * 32 * 32 * 3 * 9;
+    results.push(microbench::run(
+        "conv2d",
+        &format!("{batch}x3x32x32*16x3x3x3"),
+        conv_flops,
+        warmup,
+        samples,
+        || conv::conv2d(&img, &filt, spec),
+    ));
+    results.push(microbench::run(
+        "im2col",
+        &format!("{batch}x3x32x32 k3s1p1"),
+        0,
+        warmup,
+        samples,
+        || conv::im2col(&img, 3, 3, spec),
+    ));
+
+    let big = if smoke { 1 << 20 } else { 1 << 22 };
+    let x = rng.uniform_tensor(&[big], -1.0, 1.0);
+    let y = rng.uniform_tensor(&[big], -1.0, 1.0);
+    results.push(microbench::run(
+        "elementwise_add",
+        &format!("{big}"),
+        big as u64,
+        warmup,
+        samples,
+        || x.add(&y),
+    ));
+    results.push(microbench::run(
+        "sum",
+        &format!("{big}"),
+        big as u64,
+        warmup,
+        samples,
+        || x.sum(),
+    ));
+
+    let stats = pool::stats();
+    println!(
+        "pool: {} threads, {} spawned, {} jobs completed",
+        stats.threads, stats.threads_spawned, stats.jobs_completed
+    );
+    println!(
+        "{:<18} {:<22} {:>14} {:>10}",
+        "kernel", "shape", "ns/iter", "GFLOP/s"
+    );
+    for m in &results {
+        println!(
+            "{:<18} {:<22} {:>14.0} {:>10.2}",
+            m.name, m.shape, m.ns_per_iter, m.gflops
+        );
+    }
+    let packed = &results[0];
+    let seed = &results[1];
+    println!(
+        "matmul speedup vs seed ikj kernel: {:.2}x",
+        seed.ns_per_iter / packed.ns_per_iter
+    );
+
+    std::fs::write(&out_path, microbench::to_json(&results))
+        .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

@@ -40,9 +40,7 @@ fn main() {
         let adv = entropy_diagnostics(&net, disc, &ds.test_x, cfg.sigma, &mut prng)
             .discriminator_advantage();
         println!("{label:<22} | {clean:.3} | {noisy_acc:.3} | {adv:.3}");
-        csv.push_str(&format!(
-            "\"{label}\",{clean:.4},{noisy_acc:.4},{adv:.4}\n"
-        ));
+        csv.push_str(&format!("\"{label}\",{clean:.4},{noisy_acc:.4},{adv:.4}\n"));
     }
     opts.write_artifact("disc_capacity.csv", &csv);
 }

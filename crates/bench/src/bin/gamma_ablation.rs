@@ -28,9 +28,8 @@ fn main() {
     let ds = opts.dataset(kind);
     let cfg = opts.config(kind);
 
-    let mut csv = String::from(
-        "gamma,clean_acc,noisy_acc,fgsm_acc,disc_advantage_bits,logit_shift\n",
-    );
+    let mut csv =
+        String::from("gamma,clean_acc,noisy_acc,fgsm_acc,disc_advantage_bits,logit_shift\n");
     println!("gamma | clean | noisy | FGSM | D-advantage (bits) | logit shift");
     for gamma in GAMMAS {
         let c = cfg.clone().with_gamma(gamma);
@@ -79,7 +78,10 @@ fn main() {
     println!("\nmix-ratio bracket (clean-only vs mixed vs perturbed-only):");
     let mut csv2 = String::from("trainer,clean_acc,noisy_acc\n");
     let trainers: Vec<(&str, Box<dyn Defense>)> = vec![
-        ("clean-only (Vanilla)", Box::new(zk_gandef::defense::Vanilla)),
+        (
+            "clean-only (Vanilla)",
+            Box::new(zk_gandef::defense::Vanilla),
+        ),
         ("mixed (ZK-GanDef)", Box::new(GanDef::zero_knowledge())),
         ("perturbed-only (CLS)", Box::new(zk_gandef::defense::Cls)),
     ];

@@ -51,12 +51,7 @@ fn main() {
             acc("CW") * 100.0
         ));
         for (example, a) in &rows {
-            csv.push_str(&format!(
-                "{},{},{:.4}\n",
-                dataset_label(kind),
-                example,
-                a
-            ));
+            csv.push_str(&format!("{},{},{:.4}\n", dataset_label(kind), example, a));
         }
     }
 

@@ -15,6 +15,7 @@
 //! | `augmentation_ablation` | §IV-B future-work noise comparison (extension) |
 //! | `transfer_attack` | §II-A black-box transfer setting (extension) |
 //! | `logit_signature` | §III-A logit-magnitude hypothesis (extension) |
+//! | `bench_kernels` | tensor-kernel micro-benchmarks → `BENCH_tensor.json` |
 //!
 //! All binaries accept `--paper-scale` (paper epoch counts), `--train N`,
 //! `--test N`, `--seed S` and `--out DIR` (default `results/`), print their
@@ -22,6 +23,8 @@
 //! output directory.
 
 #![deny(missing_docs)]
+
+pub mod microbench;
 
 use gandef_data::{generate, Dataset, DatasetKind, GenSpec};
 use gandef_nn::Net;

@@ -1,0 +1,129 @@
+//! Std-only micro-benchmarking: warmup + median-of-N timing.
+//!
+//! Criterion is unavailable offline, and kernel benchmarks don't need its
+//! statistical machinery — a warmup phase (to populate caches and spin up
+//! the worker pool) followed by the median of N samples is robust to the
+//! occasional scheduler hiccup and has no dependencies. Used by the
+//! `bench_kernels` binary, which tracks the GEMM/conv perf trajectory in
+//! `BENCH_tensor.json` at the repo root.
+
+use std::time::Instant;
+
+/// One benchmark measurement.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark name, e.g. `"matmul"`.
+    pub name: String,
+    /// Problem shape, e.g. `"256x256x256"`.
+    pub shape: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Throughput in GFLOP/s (0 when no FLOP count applies).
+    pub gflops: f64,
+}
+
+/// Times `body`, returning the median nanoseconds per iteration.
+///
+/// Runs `warmup` untimed iterations, then `samples` timed ones, and takes
+/// the median sample — the estimator least sensitive to one-off stalls.
+/// `body`'s return value is passed through `std::hint::black_box` so the
+/// optimizer cannot elide the work.
+///
+/// # Panics
+///
+/// Panics if `samples == 0`.
+pub fn median_ns<T>(warmup: usize, samples: usize, mut body: impl FnMut() -> T) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    for _ in 0..warmup {
+        std::hint::black_box(body());
+    }
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(body());
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Runs one named benchmark and derives throughput from `flops` (the
+/// floating-point operations one iteration performs; pass 0 to skip).
+pub fn run<T>(
+    name: &str,
+    shape: &str,
+    flops: u64,
+    warmup: usize,
+    samples: usize,
+    body: impl FnMut() -> T,
+) -> Measurement {
+    let ns = median_ns(warmup, samples, body);
+    Measurement {
+        name: name.to_string(),
+        shape: shape.to_string(),
+        ns_per_iter: ns,
+        gflops: if flops == 0 { 0.0 } else { flops as f64 / ns },
+    }
+}
+
+/// Serializes measurements as a JSON array of
+/// `{name, shape, ns_per_iter, gflops}` objects (hand-rolled: no serde in
+/// the dependency-free build).
+pub fn to_json(measurements: &[Measurement]) -> String {
+    let rows: Vec<String> = measurements
+        .iter()
+        .map(|m| {
+            format!(
+                "  {{\"name\": \"{}\", \"shape\": \"{}\", \"ns_per_iter\": {:.1}, \"gflops\": {:.3}}}",
+                escape(&m.name),
+                escape(&m.shape),
+                m.ns_per_iter,
+                m.gflops
+            )
+        })
+        .collect();
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_positive_and_finite() {
+        let ns = median_ns(1, 5, || (0..1000).map(|i| i as f32).sum::<f32>());
+        assert!(ns.is_finite() && ns > 0.0);
+    }
+
+    #[test]
+    fn run_derives_gflops() {
+        let m = run("probe", "1k", 1000, 1, 5, || {
+            (0..1000).map(|i| i as f32).sum::<f32>()
+        });
+        assert_eq!(m.name, "probe");
+        assert!(m.gflops > 0.0);
+        let none = run("no-flops", "1", 0, 0, 1, || 42);
+        assert_eq!(none.gflops, 0.0);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let m = Measurement {
+            name: "matmul".into(),
+            shape: "2x2x2".into(),
+            ns_per_iter: 125.0,
+            gflops: 0.128,
+        };
+        let json = to_json(&[m.clone(), m]);
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert_eq!(json.matches("\"name\": \"matmul\"").count(), 2);
+        assert!(json.contains("\"ns_per_iter\": 125.0"));
+        assert!(json.contains("\"gflops\": 0.128"));
+    }
+}

@@ -35,6 +35,11 @@ pub struct TrainConfig {
     pub train_pgd_iters: usize,
     /// Evaluation attack budget for this dataset (§IV-C).
     pub budget: AttackBudget,
+    /// Worker-pool size for tensor kernels and attack batches. `0` (the
+    /// default) sizes the pool to the available CPUs; the setting takes
+    /// effect when the first parallel kernel runs and is fixed for the
+    /// process lifetime thereafter.
+    pub pool_threads: usize,
 }
 
 impl TrainConfig {
@@ -62,6 +67,7 @@ impl TrainConfig {
             disc_steps: 1,
             train_pgd_iters: 7,
             budget,
+            pool_threads: 0,
         }
     }
 
@@ -94,6 +100,12 @@ impl TrainConfig {
         self.lambda = lambda;
         self
     }
+
+    /// Returns a copy with an explicit worker-pool size (`0` = all CPUs).
+    pub fn with_pool_threads(mut self, threads: usize) -> Self {
+        self.pool_threads = threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -113,17 +125,30 @@ mod tests {
 
     #[test]
     fn paper_scale_raises_epochs() {
-        assert_eq!(TrainConfig::paper_scale(DatasetKind::SynthDigits).epochs, 80);
-        assert_eq!(TrainConfig::paper_scale(DatasetKind::SynthCifar).epochs, 300);
+        assert_eq!(
+            TrainConfig::paper_scale(DatasetKind::SynthDigits).epochs,
+            80
+        );
+        assert_eq!(
+            TrainConfig::paper_scale(DatasetKind::SynthCifar).epochs,
+            300
+        );
     }
 
     #[test]
     fn builders_override_fields() {
         let cfg = TrainConfig::quick(DatasetKind::SynthDigits)
             .with_gamma(0.7)
-            .with_sigma_lambda(0.1, 0.01);
+            .with_sigma_lambda(0.1, 0.01)
+            .with_pool_threads(2);
         assert_eq!(cfg.gamma, 0.7);
         assert_eq!(cfg.sigma, 0.1);
         assert_eq!(cfg.lambda, 0.01);
+        assert_eq!(cfg.pool_threads, 2);
+    }
+
+    #[test]
+    fn pool_defaults_to_auto() {
+        assert_eq!(TrainConfig::quick(DatasetKind::SynthDigits).pool_threads, 0);
     }
 }

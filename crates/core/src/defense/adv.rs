@@ -72,13 +72,8 @@ impl Defense for AdvTraining {
         }
     }
 
-    fn train(
-        &self,
-        net: &mut Net,
-        ds: &Dataset,
-        cfg: &TrainConfig,
-        rng: &mut Prng,
-    ) -> TrainReport {
+    fn train(&self, net: &mut Net, ds: &Dataset, cfg: &TrainConfig, rng: &mut Prng) -> TrainReport {
+        super::apply_pool(cfg);
         let classes = ds.kind.classes();
         let mut opt = Adam::new(cfg.lr);
         let mut report = TrainReport::new(self.name());
@@ -206,17 +201,30 @@ mod tests {
         // iterative attacks, which Vanilla completely lacks (Table III).
         // The finer FGSM-Adv-vs-PGD-Adv split (gradient masking) only
         // manifests at LeNet scale — the `table3` harness covers it.
-        let ds = digits();
+        //
+        // This test needs more data and capacity than its siblings: at the
+        // 400-example/48-unit scale the robustness margin is within
+        // trajectory noise, so rounding-level kernel changes (blocked
+        // summation, FMA) can flip the outcome. At this scale the margin
+        // is ~2× the assertion threshold.
+        let ds = generate(
+            DatasetKind::SynthDigits,
+            &GenSpec {
+                train: 800,
+                test: 80,
+                seed: 6,
+            },
+        );
         let c = {
-            let mut c = cfg(10);
+            let mut c = cfg(12);
             c.train_pgd_iters = 7;
             c
         };
         let mut rng = Prng::new(0);
-        let mut vanilla = Net::new(zoo::mlp(28 * 28, 48, 10), &mut rng);
+        let mut vanilla = Net::new(zoo::mlp(28 * 28, 64, 10), &mut rng);
         super::super::Vanilla.train(&mut vanilla, &ds, &c, &mut rng);
         let mut rng = Prng::new(0);
-        let mut pgd_net = Net::new(zoo::mlp(28 * 28, 48, 10), &mut rng);
+        let mut pgd_net = Net::new(zoo::mlp(28 * 28, 64, 10), &mut rng);
         AdvTraining::pgd().train(&mut pgd_net, &ds, &c, &mut rng);
 
         let bim = Bim::new(c.budget.eps, 0.05, 8);

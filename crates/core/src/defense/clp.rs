@@ -27,13 +27,8 @@ impl Defense for Clp {
         "CLP"
     }
 
-    fn train(
-        &self,
-        net: &mut Net,
-        ds: &Dataset,
-        cfg: &TrainConfig,
-        rng: &mut Prng,
-    ) -> TrainReport {
+    fn train(&self, net: &mut Net, ds: &Dataset, cfg: &TrainConfig, rng: &mut Prng) -> TrainReport {
+        super::apply_pool(cfg);
         let classes = ds.kind.classes();
         let mut opt = Adam::new(cfg.lr);
         let mut report = TrainReport::new(self.name());
@@ -50,11 +45,7 @@ impl Defense for Clp {
                     // Random pairing: the shuffled batch is split in half,
                     // each half perturbed independently (only perturbed
                     // examples — CLP never sees clean inputs, Figure 2a).
-                    let x1 = preprocess::gaussian_perturb(
-                        &xb.slice_rows(0, half),
-                        cfg.sigma,
-                        rng,
-                    );
+                    let x1 = preprocess::gaussian_perturb(&xb.slice_rows(0, half), cfg.sigma, rng);
                     let x2 = preprocess::gaussian_perturb(
                         &xb.slice_rows(half, 2 * half),
                         cfg.sigma,
@@ -107,8 +98,7 @@ mod tests {
         );
         let mut rng = Prng::new(0);
         let mut net = Net::new(zoo::mlp(28 * 28, 48, 10), &mut rng);
-        let mut cfg = TrainConfig::quick(DatasetKind::SynthDigits)
-            .with_sigma_lambda(sigma, lambda);
+        let mut cfg = TrainConfig::quick(DatasetKind::SynthDigits).with_sigma_lambda(sigma, lambda);
         cfg.epochs = 8;
         cfg.lr = 0.003;
         let report = Clp.train(&mut net, &ds, &cfg, &mut rng);

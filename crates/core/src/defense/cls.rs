@@ -28,13 +28,8 @@ impl Defense for Cls {
         "CLS"
     }
 
-    fn train(
-        &self,
-        net: &mut Net,
-        ds: &Dataset,
-        cfg: &TrainConfig,
-        rng: &mut Prng,
-    ) -> TrainReport {
+    fn train(&self, net: &mut Net, ds: &Dataset, cfg: &TrainConfig, rng: &mut Prng) -> TrainReport {
+        super::apply_pool(cfg);
         let classes = ds.kind.classes();
         let mut opt = Adam::new(cfg.lr);
         let mut report = TrainReport::new(self.name());
@@ -87,8 +82,7 @@ mod tests {
         );
         let mut rng = Prng::new(0);
         let mut net = Net::new(zoo::mlp(28 * 28, 48, 10), &mut rng);
-        let mut cfg =
-            TrainConfig::quick(DatasetKind::SynthDigits).with_sigma_lambda(sigma, lambda);
+        let mut cfg = TrainConfig::quick(DatasetKind::SynthDigits).with_sigma_lambda(sigma, lambda);
         cfg.epochs = epochs;
         cfg.lr = 0.003;
         let report = Cls.train(&mut net, &ds, &cfg, &mut rng);

@@ -113,12 +113,8 @@ impl GanDef {
         rng: &mut Prng,
     ) -> Tensor {
         match self.source {
-            Source::Noise(NoiseKind::Gaussian) => {
-                preprocess::gaussian_perturb(x, cfg.sigma, rng)
-            }
-            Source::Noise(NoiseKind::Uniform) => {
-                preprocess::uniform_perturb(x, cfg.sigma, rng)
-            }
+            Source::Noise(NoiseKind::Gaussian) => preprocess::gaussian_perturb(x, cfg.sigma, rng),
+            Source::Noise(NoiseKind::Uniform) => preprocess::uniform_perturb(x, cfg.sigma, rng),
             Source::Noise(NoiseKind::SaltPepper) => {
                 preprocess::salt_pepper_perturb(x, (cfg.sigma * 0.25).min(0.9), rng)
             }
@@ -142,13 +138,8 @@ impl Defense for GanDef {
 
     /// Algorithm 1 of the paper: alternating discriminator / classifier
     /// updates over mixed batches of original and perturbed examples.
-    fn train(
-        &self,
-        net: &mut Net,
-        ds: &Dataset,
-        cfg: &TrainConfig,
-        rng: &mut Prng,
-    ) -> TrainReport {
+    fn train(&self, net: &mut Net, ds: &Dataset, cfg: &TrainConfig, rng: &mut Prng) -> TrainReport {
+        super::apply_pool(cfg);
         let classes = ds.kind.classes();
         // Line 1: initialize weight parameters in both networks.
         let mut disc = Net::with_classes(

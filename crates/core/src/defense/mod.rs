@@ -36,8 +36,7 @@ pub trait Defense {
 
     /// Trains `net` in place on the dataset's training split, returning
     /// per-epoch timing and loss traces.
-    fn train(&self, net: &mut Net, ds: &Dataset, cfg: &TrainConfig, rng: &mut Prng)
-        -> TrainReport;
+    fn train(&self, net: &mut Net, ds: &Dataset, cfg: &TrainConfig, rng: &mut Prng) -> TrainReport;
 }
 
 /// Per-epoch record of a defense-training run: the raw material behind
@@ -108,6 +107,13 @@ pub(crate) fn timed_epoch(body: impl FnOnce() -> f32) -> (f64, f32) {
     let start = Instant::now();
     let loss = body();
     (start.elapsed().as_secs_f64(), loss)
+}
+
+/// Applies the config's worker-pool sizing before training starts. Called
+/// at the top of every `Defense::train` so `cfg.pool_threads` governs the
+/// whole run; a no-op once the pool has been built by an earlier run.
+pub(crate) fn apply_pool(cfg: &TrainConfig) {
+    gandef_tensor::pool::configure_threads(cfg.pool_threads);
 }
 
 #[cfg(test)]

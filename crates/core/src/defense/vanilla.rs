@@ -17,13 +17,8 @@ impl Defense for Vanilla {
         "Vanilla"
     }
 
-    fn train(
-        &self,
-        net: &mut Net,
-        ds: &Dataset,
-        cfg: &TrainConfig,
-        rng: &mut Prng,
-    ) -> TrainReport {
+    fn train(&self, net: &mut Net, ds: &Dataset, cfg: &TrainConfig, rng: &mut Prng) -> TrainReport {
+        super::apply_pool(cfg);
         let classes = ds.kind.classes();
         let mut opt = Adam::new(cfg.lr);
         let mut report = TrainReport::new(self.name());

@@ -285,9 +285,16 @@ mod tests {
     #[test]
     fn attack_sets_have_expected_names() {
         let b = AttackBudget::for_28x28();
-        let std: Vec<&str> = standard_attacks(&b).iter().map(|a| a.name().to_string()).map(|s| Box::leak(s.into_boxed_str()) as &str).collect();
+        let std: Vec<&str> = standard_attacks(&b)
+            .iter()
+            .map(|a| a.name().to_string())
+            .map(|s| Box::leak(s.into_boxed_str()) as &str)
+            .collect();
         assert_eq!(std, vec!["FGSM", "BIM", "PGD"]);
-        let ext: Vec<String> = extended_attacks(&b).iter().map(|a| a.name().to_string()).collect();
+        let ext: Vec<String> = extended_attacks(&b)
+            .iter()
+            .map(|a| a.name().to_string())
+            .collect();
         assert_eq!(ext, vec!["DeepFool", "CW"]);
     }
 

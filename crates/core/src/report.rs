@@ -6,7 +6,9 @@ use crate::defense::TrainReport;
 /// Renders Figure 5's left/middle panels as a markdown table: training
 /// time per epoch for each defense.
 pub fn training_time_table(title: &str, reports: &[&TrainReport]) -> String {
-    let mut out = format!("\n### {title}\n\n| Defense | s/epoch | total s | final loss |\n|---|---|---|---|\n");
+    let mut out = format!(
+        "\n### {title}\n\n| Defense | s/epoch | total s | final loss |\n|---|---|---|---|\n"
+    );
     for r in reports {
         out.push_str(&format!(
             "| {} | {:.2} | {:.1} | {:.3} |\n",

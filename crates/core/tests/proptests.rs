@@ -1,19 +1,28 @@
-//! Property-based tests for the defense crate's data structures.
+//! Property-based tests for the defense crate's data structures. Uses the
+//! in-repo [`check`] helper (deterministic seeded cases, no external
+//! framework).
 
-use proptest::prelude::*;
+use gandef_tensor::check;
 use zk_gandef::eval::AccuracyGrid;
 use zk_gandef::report::{loss_trace_csv, reduction_percent};
 
-proptest! {
-    #[test]
-    fn grid_roundtrips_arbitrary_cells(
-        cells in prop::collection::vec(
-            (0usize..5, 0usize..3, 0usize..4, 0.0f32..1.0), 1..40
-        )
-    ) {
+#[test]
+fn grid_roundtrips_arbitrary_cells() {
+    check::cases(64, |g| {
         let defenses = ["Vanilla", "CLP", "CLS", "ZK-GanDef", "PGD-Adv"];
         let datasets = ["D1", "D2", "D3"];
         let examples = ["Original", "FGSM", "BIM", "PGD"];
+        let n_cells = g.usize_in(1, 39);
+        let cells: Vec<(usize, usize, usize, f32)> = (0..n_cells)
+            .map(|_| {
+                (
+                    g.usize_in(0, 4),
+                    g.usize_in(0, 2),
+                    g.usize_in(0, 3),
+                    g.f32_in(0.0, 1.0),
+                )
+            })
+            .collect();
         let mut grid = AccuracyGrid::new();
         for &(d, s, e, acc) in &cells {
             grid.record(defenses[d], datasets[s], examples[e], acc);
@@ -21,43 +30,47 @@ proptest! {
         // The *first* recorded accuracy per key wins in `get` (duplicates
         // are appended but lookup is first-match).
         let (d, s, e, acc) = cells[0];
-        prop_assert_eq!(
-            grid.get(defenses[d], datasets[s], examples[e]),
-            Some(acc)
-        );
+        assert_eq!(grid.get(defenses[d], datasets[s], examples[e]), Some(acc));
         // CSV row count = cells + header.
-        prop_assert_eq!(grid.to_csv().lines().count(), cells.len() + 1);
+        assert_eq!(grid.to_csv().lines().count(), cells.len() + 1);
         // Markdown contains every dataset section.
         let md = grid.to_markdown(&examples);
         for name in grid.datasets() {
             let header = format!("### {name}");
-            prop_assert!(md.contains(&header));
+            assert!(md.contains(&header));
         }
-    }
+    });
+}
 
-    #[test]
-    fn reduction_percent_bounds(ours in 0.0f64..1000.0, theirs in 0.001f64..1000.0) {
+#[test]
+fn reduction_percent_bounds() {
+    check::cases(64, |g| {
+        let ours = g.f32_in(0.0, 1000.0) as f64;
+        let theirs = g.f32_in(0.001, 1000.0) as f64;
         let r = reduction_percent(ours, theirs);
-        prop_assert!(r <= 100.0);
+        assert!(r <= 100.0);
         if ours <= theirs {
-            prop_assert!(r >= 0.0);
+            assert!(r >= 0.0);
         }
         // Identity: zero reduction against self.
-        prop_assert!(reduction_percent(theirs, theirs).abs() < 1e-9);
-    }
+        assert!(reduction_percent(theirs, theirs).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn loss_trace_csv_shape(
-        t1 in prop::collection::vec(0.0f32..10.0, 1..10),
-        t2 in prop::collection::vec(0.0f32..10.0, 1..10)
-    ) {
+#[test]
+fn loss_trace_csv_shape() {
+    check::cases(64, |g| {
+        let n1 = g.usize_in(1, 9);
+        let t1 = g.vec_f32(n1, 0.0, 10.0);
+        let n2 = g.usize_in(1, 9);
+        let t2 = g.vec_f32(n2, 0.0, 10.0);
         let csv = loss_trace_csv(&[("a".into(), t1.as_slice()), ("b".into(), t2.as_slice())]);
         let lines: Vec<&str> = csv.lines().collect();
-        prop_assert_eq!(lines[0], "epoch,a,b");
-        prop_assert_eq!(lines.len(), 1 + t1.len().max(t2.len()));
+        assert_eq!(lines[0], "epoch,a,b");
+        assert_eq!(lines.len(), 1 + t1.len().max(t2.len()));
         // Every row has exactly 2 commas (3 columns).
         for line in &lines[1..] {
-            prop_assert_eq!(line.matches(',').count(), 2);
+            assert_eq!(line.matches(',').count(), 2);
         }
-    }
+    });
 }

@@ -18,16 +18,16 @@ pub const SIDE: usize = 28;
 /// D(bottom) E(bottom-left) F(top-left) G(middle).
 const SEGMENTS: [[bool; 7]; 10] = [
     // A      B      C      D      E      F      G
-    [true, true, true, true, true, true, false],   // 0
+    [true, true, true, true, true, true, false],     // 0
     [false, true, true, false, false, false, false], // 1
-    [true, true, false, true, true, false, true],  // 2
-    [true, true, true, true, false, false, true],  // 3
-    [false, true, true, false, false, true, true], // 4
-    [true, false, true, true, false, true, true],  // 5
-    [true, false, true, true, true, true, true],   // 6
-    [true, true, true, false, false, false, false], // 7
-    [true, true, true, true, true, true, true],    // 8
-    [true, true, true, true, false, true, true],   // 9
+    [true, true, false, true, true, false, true],    // 2
+    [true, true, true, true, false, false, true],    // 3
+    [false, true, true, false, false, true, true],   // 4
+    [true, false, true, true, false, true, true],    // 5
+    [true, false, true, true, true, true, true],     // 6
+    [true, true, true, false, false, false, false],  // 7
+    [true, true, true, true, true, true, true],      // 8
+    [true, true, true, true, false, true, true],     // 9
 ];
 
 /// Renders one digit image into a `[1 × 28 × 28]` buffer with values in

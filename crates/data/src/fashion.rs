@@ -68,24 +68,78 @@ fn silhouette(class: usize, m: &mut Canvas, dy: f32, dx: f32, rng: &mut Prng) {
     match class {
         // T-shirt: torso + short sleeves.
         0 => {
-            m.fill_rect((8.0 + dy) as isize, (9.0 + dx) as isize, (22.0 + dy) as isize, (18.0 + dx) as isize, 1.0);
-            m.fill_rect((8.0 + dy) as isize, (4.0 + dx) as isize, (12.0 + dy) as isize, (23.0 + dx) as isize, 1.0);
+            m.fill_rect(
+                (8.0 + dy) as isize,
+                (9.0 + dx) as isize,
+                (22.0 + dy) as isize,
+                (18.0 + dx) as isize,
+                1.0,
+            );
+            m.fill_rect(
+                (8.0 + dy) as isize,
+                (4.0 + dx) as isize,
+                (12.0 + dy) as isize,
+                (23.0 + dx) as isize,
+                1.0,
+            );
         }
         // Trouser: two legs joined at the waist.
         1 => {
-            m.fill_rect((6.0 + dy) as isize, (9.0 + dx) as isize, (9.0 + dy) as isize, (18.0 + dx) as isize, 1.0);
-            m.fill_rect((9.0 + dy) as isize, (9.0 + dx) as isize, (23.0 + dy) as isize, (12.0 + dx) as isize, 1.0);
-            m.fill_rect((9.0 + dy) as isize, (15.0 + dx) as isize, (23.0 + dy) as isize, (18.0 + dx) as isize, 1.0);
+            m.fill_rect(
+                (6.0 + dy) as isize,
+                (9.0 + dx) as isize,
+                (9.0 + dy) as isize,
+                (18.0 + dx) as isize,
+                1.0,
+            );
+            m.fill_rect(
+                (9.0 + dy) as isize,
+                (9.0 + dx) as isize,
+                (23.0 + dy) as isize,
+                (12.0 + dx) as isize,
+                1.0,
+            );
+            m.fill_rect(
+                (9.0 + dy) as isize,
+                (15.0 + dx) as isize,
+                (23.0 + dy) as isize,
+                (18.0 + dx) as isize,
+                1.0,
+            );
         }
         // Pullover: torso + full-length sleeves.
         2 => {
-            m.fill_rect((7.0 + dy) as isize, (9.0 + dx) as isize, (22.0 + dy) as isize, (18.0 + dx) as isize, 1.0);
-            m.fill_rect((7.0 + dy) as isize, (3.0 + dx) as isize, (20.0 + dy) as isize, (7.0 + dx) as isize, 1.0);
-            m.fill_rect((7.0 + dy) as isize, (20.0 + dx) as isize, (20.0 + dy) as isize, (24.0 + dx) as isize, 1.0);
+            m.fill_rect(
+                (7.0 + dy) as isize,
+                (9.0 + dx) as isize,
+                (22.0 + dy) as isize,
+                (18.0 + dx) as isize,
+                1.0,
+            );
+            m.fill_rect(
+                (7.0 + dy) as isize,
+                (3.0 + dx) as isize,
+                (20.0 + dy) as isize,
+                (7.0 + dx) as isize,
+                1.0,
+            );
+            m.fill_rect(
+                (7.0 + dy) as isize,
+                (20.0 + dx) as isize,
+                (20.0 + dy) as isize,
+                (24.0 + dx) as isize,
+                1.0,
+            );
         }
         // Dress: bodice + flaring skirt.
         3 => {
-            m.fill_rect((5.0 + dy) as isize, (11.0 + dx) as isize, (12.0 + dy) as isize, (16.0 + dx) as isize, 1.0);
+            m.fill_rect(
+                (5.0 + dy) as isize,
+                (11.0 + dx) as isize,
+                (12.0 + dy) as isize,
+                (16.0 + dx) as isize,
+                1.0,
+            );
             m.fill_triangle(
                 (j(12.0 + dy), j(13.5 + dx)),
                 (j(24.0 + dy), j(6.0 + dx)),
@@ -95,20 +149,56 @@ fn silhouette(class: usize, m: &mut Canvas, dy: f32, dx: f32, rng: &mut Prng) {
         }
         // Coat: long body + lapel notch left dark.
         4 => {
-            m.fill_rect((5.0 + dy) as isize, (8.0 + dx) as isize, (24.0 + dy) as isize, (19.0 + dx) as isize, 1.0);
-            m.fill_rect((5.0 + dy) as isize, (4.0 + dx) as isize, (16.0 + dy) as isize, (7.0 + dx) as isize, 1.0);
-            m.fill_rect((5.0 + dy) as isize, (20.0 + dx) as isize, (16.0 + dy) as isize, (23.0 + dx) as isize, 1.0);
+            m.fill_rect(
+                (5.0 + dy) as isize,
+                (8.0 + dx) as isize,
+                (24.0 + dy) as isize,
+                (19.0 + dx) as isize,
+                1.0,
+            );
+            m.fill_rect(
+                (5.0 + dy) as isize,
+                (4.0 + dx) as isize,
+                (16.0 + dy) as isize,
+                (7.0 + dx) as isize,
+                1.0,
+            );
+            m.fill_rect(
+                (5.0 + dy) as isize,
+                (20.0 + dx) as isize,
+                (16.0 + dy) as isize,
+                (23.0 + dx) as isize,
+                1.0,
+            );
         }
         // Sandal: straps (thin horizontal bars) over a sole.
         5 => {
-            m.fill_rect((19.0 + dy) as isize, (5.0 + dx) as isize, (22.0 + dy) as isize, (23.0 + dx) as isize, 1.0);
+            m.fill_rect(
+                (19.0 + dy) as isize,
+                (5.0 + dx) as isize,
+                (22.0 + dy) as isize,
+                (23.0 + dx) as isize,
+                1.0,
+            );
             m.line(12.0 + dy, 6.0 + dx, 19.0 + dy, 14.0 + dx, 2.0, 1.0);
             m.line(12.0 + dy, 14.0 + dx, 19.0 + dy, 22.0 + dx, 2.0, 1.0);
         }
         // Shirt: torso + sleeves + collar wedge.
         6 => {
-            m.fill_rect((8.0 + dy) as isize, (9.0 + dx) as isize, (23.0 + dy) as isize, (18.0 + dx) as isize, 1.0);
-            m.fill_rect((8.0 + dy) as isize, (5.0 + dx) as isize, (14.0 + dy) as isize, (22.0 + dx) as isize, 1.0);
+            m.fill_rect(
+                (8.0 + dy) as isize,
+                (9.0 + dx) as isize,
+                (23.0 + dy) as isize,
+                (18.0 + dx) as isize,
+                1.0,
+            );
+            m.fill_rect(
+                (8.0 + dy) as isize,
+                (5.0 + dx) as isize,
+                (14.0 + dy) as isize,
+                (22.0 + dx) as isize,
+                1.0,
+            );
             m.fill_triangle(
                 (6.0 + dy, 11.0 + dx),
                 (6.0 + dy, 16.0 + dx),
@@ -118,19 +208,49 @@ fn silhouette(class: usize, m: &mut Canvas, dy: f32, dx: f32, rng: &mut Prng) {
         }
         // Sneaker: low profile — sole + rounded toe.
         7 => {
-            m.fill_rect((16.0 + dy) as isize, (4.0 + dx) as isize, (21.0 + dy) as isize, (23.0 + dx) as isize, 1.0);
+            m.fill_rect(
+                (16.0 + dy) as isize,
+                (4.0 + dx) as isize,
+                (21.0 + dy) as isize,
+                (23.0 + dx) as isize,
+                1.0,
+            );
             m.fill_disk(16.0 + dy, 20.0 + dx, 4.0, 1.0);
-            m.fill_rect((12.0 + dy) as isize, (4.0 + dx) as isize, (16.0 + dy) as isize, (12.0 + dx) as isize, 1.0);
+            m.fill_rect(
+                (12.0 + dy) as isize,
+                (4.0 + dx) as isize,
+                (16.0 + dy) as isize,
+                (12.0 + dx) as isize,
+                1.0,
+            );
         }
         // Bag: box + handle arc.
         8 => {
-            m.fill_rect((12.0 + dy) as isize, (6.0 + dx) as isize, (23.0 + dy) as isize, (21.0 + dx) as isize, 1.0);
+            m.fill_rect(
+                (12.0 + dy) as isize,
+                (6.0 + dx) as isize,
+                (23.0 + dy) as isize,
+                (21.0 + dx) as isize,
+                1.0,
+            );
             m.ring(12.0 + dy, 13.5 + dx, 3.5, 5.5, 1.0);
         }
         // Ankle boot: L-shaped shaft + foot.
         9 => {
-            m.fill_rect((6.0 + dy) as isize, (8.0 + dx) as isize, (21.0 + dy) as isize, (14.0 + dx) as isize, 1.0);
-            m.fill_rect((16.0 + dy) as isize, (8.0 + dx) as isize, (21.0 + dy) as isize, (23.0 + dx) as isize, 1.0);
+            m.fill_rect(
+                (6.0 + dy) as isize,
+                (8.0 + dx) as isize,
+                (21.0 + dy) as isize,
+                (14.0 + dx) as isize,
+                1.0,
+            );
+            m.fill_rect(
+                (16.0 + dy) as isize,
+                (8.0 + dx) as isize,
+                (21.0 + dy) as isize,
+                (23.0 + dx) as isize,
+                1.0,
+            );
         }
         _ => unreachable!(),
     }
@@ -177,7 +297,9 @@ mod tests {
             h
         };
         let mut rng = Prng::new(3);
-        let fashion_h: f32 = (0..50).map(|i| ink_entropy(&render(i % 10, &mut rng))).sum();
+        let fashion_h: f32 = (0..50)
+            .map(|i| ink_entropy(&render(i % 10, &mut rng)))
+            .sum();
         let digits_h: f32 = (0..50)
             .map(|i| ink_entropy(&crate::digits::render(i % 10, &mut rng)))
             .sum();

@@ -47,12 +47,7 @@ pub fn dataset_stats(ds: &Dataset, train_cap: usize, test_cap: usize) -> Dataset
     let pixel_mean = train.mean();
     let var = train.map(|v| (v - pixel_mean) * (v - pixel_mean)).mean();
 
-    let knn_accuracy = knn1_accuracy(
-        &train,
-        &ds.train_y[..n_train],
-        &test,
-        &ds.test_y[..n_test],
-    );
+    let knn_accuracy = knn1_accuracy(&train, &ds.train_y[..n_train], &test, &ds.test_y[..n_test]);
 
     DatasetStats {
         samples: n_train,

@@ -57,7 +57,10 @@ mod tests {
         let var = t.map(|v| (v - mean) * (v - mean)).mean();
         let target = 2.0 / fan_in as f32;
         assert!(mean.abs() < 0.01, "mean {mean}");
-        assert!((var - target).abs() < target * 0.15, "var {var} vs {target}");
+        assert!(
+            (var - target).abs() < target * 0.15,
+            "var {var} vs {target}"
+        );
     }
 
     #[test]

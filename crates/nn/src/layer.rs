@@ -46,8 +46,10 @@ impl Act {
 /// A neural-network layer.
 ///
 /// Implementations must be deterministic functions of `(params, input,
-/// session RNG)`.
-pub trait Layer {
+/// session RNG)`. Layers are plain descriptions (state lives in `Params`),
+/// so they must be `Send + Sync`: models are shared across the worker pool
+/// when attack batches run in parallel.
+pub trait Layer: Send + Sync {
     /// Registers this layer's parameters (if any) into `params`.
     fn init(&self, params: &mut Params, rng: &mut Prng);
 
@@ -97,12 +99,7 @@ impl Layer for Dense {
     fn init(&self, params: &mut Params, rng: &mut Prng) {
         let w = match self.act {
             Some(Act::Relu) => init::he_normal(&[self.in_dim, self.out_dim], self.in_dim, rng),
-            _ => init::glorot_uniform(
-                &[self.in_dim, self.out_dim],
-                self.in_dim,
-                self.out_dim,
-                rng,
-            ),
+            _ => init::glorot_uniform(&[self.in_dim, self.out_dim], self.in_dim, self.out_dim, rng),
         };
         params.insert(&self.w_name(), w);
         params.insert(&self.b_name(), init::zeros(&[self.out_dim]));

@@ -14,7 +14,11 @@ const INFER_CHUNK: usize = 64;
 /// its input gradients. All of the paper's attack generators (§IV-C) are
 /// written against this trait, mirroring the white-box threat model where
 /// the adversary has "full knowledge about the target NN classifier".
-pub trait Classifier {
+///
+/// `Sync` is required so one model can serve concurrent attack chunks on
+/// the worker pool (inference builds its own tape per call, so shared
+/// access is read-only).
+pub trait Classifier: Sync {
     /// Number of output classes.
     fn num_classes(&self) -> usize;
 
@@ -209,10 +213,7 @@ mod tests {
         let net = tiny_net(7);
         let x = Prng::new(8).uniform_tensor(&[2, 4], -1.0, 1.0);
         // Margin weights: +1 on class 1, −1 on class 0 for both rows.
-        let w = gandef_tensor::Tensor::from_vec(
-            vec![2, 3],
-            vec![-1.0, 1.0, 0.0, -1.0, 1.0, 0.0],
-        );
+        let w = gandef_tensor::Tensor::from_vec(vec![2, 3], vec![-1.0, 1.0, 0.0, -1.0, 1.0, 0.0]);
         let grad = net.weighted_logit_input_grad(&x, &w);
         let numeric = numeric_grad(
             |p| {

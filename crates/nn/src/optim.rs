@@ -132,9 +132,7 @@ impl Optimizer for Adam {
             let m = self.m[i].get_or_insert_with(|| Tensor::zeros(g.shape().dims()));
             let v = self.v[i].get_or_insert_with(|| Tensor::zeros(g.shape().dims()));
             *m = m.scale(self.beta1).add(&g.scale(1.0 - self.beta1));
-            *v = v
-                .scale(self.beta2)
-                .add(&g.square().scale(1.0 - self.beta2));
+            *v = v.scale(self.beta2).add(&g.square().scale(1.0 - self.beta2));
             let update = Tensor::from_fn(g.shape().dims(), |j| {
                 let mh = m.as_slice()[j] / bc1;
                 let vh = v.as_slice()[j] / bc2;

@@ -136,7 +136,12 @@ impl Params {
 
 impl fmt::Debug for Params {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Params({} tensors, {} scalars)", self.len(), self.numel())
+        write!(
+            f,
+            "Params({} tensors, {} scalars)",
+            self.len(),
+            self.numel()
+        )
     }
 }
 

@@ -119,8 +119,8 @@ pub fn load_params(path: impl AsRef<Path>) -> Result<Params, CheckpointError> {
         }
         let mut name = vec![0u8; name_len];
         r.read_exact(&mut name)?;
-        let name = String::from_utf8(name)
-            .map_err(|_| CheckpointError::Format("non-UTF8 name".into()))?;
+        let name =
+            String::from_utf8(name).map_err(|_| CheckpointError::Format("non-UTF8 name".into()))?;
         let rank = read_u32(&mut r)? as usize;
         if rank > 8 {
             return Err(CheckpointError::Format(format!("implausible rank {rank}")));
@@ -154,10 +154,7 @@ pub fn load_params(path: impl AsRef<Path>) -> Result<Params, CheckpointError> {
 /// # Errors
 ///
 /// Returns [`CheckpointError::Mismatch`] if names or shapes differ.
-pub fn restore_params(
-    target: &mut Params,
-    path: impl AsRef<Path>,
-) -> Result<(), CheckpointError> {
+pub fn restore_params(target: &mut Params, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
     let loaded = load_params(path)?;
     if loaded.len() != target.len() {
         return Err(CheckpointError::Mismatch(format!(

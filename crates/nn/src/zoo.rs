@@ -110,7 +110,10 @@ pub fn discriminator(logit_dim: usize) -> Sequential {
 ///
 /// Panics if `widths` is empty.
 pub fn discriminator_with_widths(logit_dim: usize, widths: &[usize]) -> Sequential {
-    assert!(!widths.is_empty(), "discriminator needs at least one hidden layer");
+    assert!(
+        !widths.is_empty(),
+        "discriminator needs at least one hidden layer"
+    );
     let mut layers: Vec<Box<dyn crate::layer::Layer>> = Vec::new();
     let mut prev = logit_dim;
     for (i, &w) in widths.iter().enumerate() {
@@ -208,12 +211,18 @@ mod tests {
         let mut p = Params::new();
         lenet(1).init(&mut p, &mut rng);
         let lenet_params = p.numel();
-        assert!(lenet_params > 10_000 && lenet_params < 100_000, "{lenet_params}");
+        assert!(
+            lenet_params > 10_000 && lenet_params < 100_000,
+            "{lenet_params}"
+        );
 
         let mut p = Params::new();
         allcnn(3, 0.2).init(&mut p, &mut rng);
         let allcnn_params = p.numel();
-        assert!(allcnn_params > 10_000 && allcnn_params < 200_000, "{allcnn_params}");
+        assert!(
+            allcnn_params > 10_000 && allcnn_params < 200_000,
+            "{allcnn_params}"
+        );
 
         let mut p = Params::new();
         discriminator(10).init(&mut p, &mut rng);

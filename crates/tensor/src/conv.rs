@@ -6,7 +6,7 @@
 //! reshaped filter bank. The backward pass reuses the same column matrix
 //! (`∂W = gᵀ·cols`) and scatters `∂cols` back with col2im.
 
-use crate::{linalg, Shape, Tensor};
+use crate::{linalg, pool, Shape, Tensor};
 
 /// Geometry of a 2-D convolution: square stride and zero padding.
 ///
@@ -41,10 +41,7 @@ impl ConvSpec {
     /// Panics if the kernel (with padding) does not fit in the input.
     pub fn out_dim(&self, in_dim: usize, k: usize) -> usize {
         let padded = in_dim + 2 * self.pad;
-        assert!(
-            padded >= k,
-            "kernel {k} larger than padded input {padded}"
-        );
+        assert!(padded >= k, "kernel {k} larger than padded input {padded}");
         (padded - k) / self.stride + 1
     }
 }
@@ -63,33 +60,38 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize, spec: ConvSpec) -> Tensor {
     let cols_w = c * kh * kw;
     let mut out = vec![0.0f32; n * ho * wo * cols_w];
     let src = input.as_slice();
-    for b in 0..n {
-        for oy in 0..ho {
-            for ox in 0..wo {
-                let row = ((b * ho + oy) * wo + ox) * cols_w;
-                let iy0 = (oy * spec.stride) as isize - spec.pad as isize;
-                let ix0 = (ox * spec.stride) as isize - spec.pad as isize;
-                for ch in 0..c {
-                    let chan = (b * c + ch) * h * w;
-                    for ky in 0..kh {
-                        let iy = iy0 + ky as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue; // zero padding: leave zeros
-                        }
-                        let line = chan + iy as usize * w;
-                        let dst = row + (ch * kh + ky) * kw;
-                        for kx in 0..kw {
-                            let ix = ix0 + kx as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
+    // Each example's patch rows form a contiguous block of the column
+    // matrix, so the unrolling parallelizes cleanly over the batch.
+    pool::parallel_for_mut(&mut out, ho * wo * cols_w, 1, |b0, chunk| {
+        for (bi, block) in chunk.chunks_mut(ho * wo * cols_w).enumerate() {
+            let b = b0 + bi;
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let row = (oy * wo + ox) * cols_w;
+                    let iy0 = (oy * spec.stride) as isize - spec.pad as isize;
+                    let ix0 = (ox * spec.stride) as isize - spec.pad as isize;
+                    for ch in 0..c {
+                        let chan = (b * c + ch) * h * w;
+                        for ky in 0..kh {
+                            let iy = iy0 + ky as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue; // zero padding: leave zeros
                             }
-                            out[dst + kx] = src[line + ix as usize];
+                            let line = chan + iy as usize * w;
+                            let dst = row + (ch * kh + ky) * kw;
+                            for kx in 0..kw {
+                                let ix = ix0 + kx as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                block[dst + kx] = src[line + ix as usize];
+                            }
                         }
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(vec![n * ho * wo, cols_w], out)
 }
 
@@ -100,13 +102,7 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize, spec: ConvSpec) -> Tensor {
 /// # Panics
 ///
 /// Panics if the column matrix does not match the stated geometry.
-pub fn col2im(
-    cols: &Tensor,
-    input_dims: &[usize],
-    kh: usize,
-    kw: usize,
-    spec: ConvSpec,
-) -> Tensor {
+pub fn col2im(cols: &Tensor, input_dims: &[usize], kh: usize, kw: usize, spec: ConvSpec) -> Tensor {
     let [n, c, h, w]: [usize; 4] = input_dims.try_into().expect("input_dims must be [N,C,H,W]");
     let ho = spec.out_dim(h, kh);
     let wo = spec.out_dim(w, kw);
@@ -118,33 +114,39 @@ pub fn col2im(
     );
     let src = cols.as_slice();
     let mut out = vec![0.0f32; n * c * h * w];
-    for b in 0..n {
-        for oy in 0..ho {
-            for ox in 0..wo {
-                let row = ((b * ho + oy) * wo + ox) * cols_w;
-                let iy0 = (oy * spec.stride) as isize - spec.pad as isize;
-                let ix0 = (ox * spec.stride) as isize - spec.pad as isize;
-                for ch in 0..c {
-                    let chan = (b * c + ch) * h * w;
-                    for ky in 0..kh {
-                        let iy = iy0 + ky as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let line = chan + iy as usize * w;
-                        let srow = row + (ch * kh + ky) * kw;
-                        for kx in 0..kw {
-                            let ix = ix0 + kx as isize;
-                            if ix < 0 || ix >= w as isize {
+    // The scatter for example `b` only ever touches `b`'s own [C, H, W]
+    // block, so batches accumulate independently in parallel; within one
+    // example the patch order is fixed, keeping the sums deterministic.
+    pool::parallel_for_mut(&mut out, c * h * w, 1, |b0, chunk| {
+        for (bi, block) in chunk.chunks_mut(c * h * w).enumerate() {
+            let b = b0 + bi;
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let row = ((b * ho + oy) * wo + ox) * cols_w;
+                    let iy0 = (oy * spec.stride) as isize - spec.pad as isize;
+                    let ix0 = (ox * spec.stride) as isize - spec.pad as isize;
+                    for ch in 0..c {
+                        let chan = ch * h * w;
+                        for ky in 0..kh {
+                            let iy = iy0 + ky as isize;
+                            if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            out[line + ix as usize] += src[srow + kx];
+                            let line = chan + iy as usize * w;
+                            let srow = row + (ch * kh + ky) * kw;
+                            for kx in 0..kw {
+                                let ix = ix0 + kx as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                block[line + ix as usize] += src[srow + kx];
+                            }
                         }
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(input_dims.to_vec(), out)
 }
 
@@ -260,7 +262,10 @@ pub fn maxpool2d(input: &Tensor, k: usize) -> (Tensor, Vec<usize>) {
     assert!(k >= 1, "pool window must be >= 1");
     let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let (ho, wo) = (h / k, w / k);
-    assert!(ho >= 1 && wo >= 1, "pool window {k} larger than image {h}x{w}");
+    assert!(
+        ho >= 1 && wo >= 1,
+        "pool window {k} larger than image {h}x{w}"
+    );
     let src = input.as_slice();
     let mut out = vec![0.0f32; n * c * ho * wo];
     let mut idx = vec![0usize; n * c * ho * wo];
@@ -434,7 +439,9 @@ mod tests {
         let (kh, kw) = (3usize, 3usize);
         let x = Tensor::from_fn(&dims, |i| ((i * 13 % 31) as f32 - 15.0) / 31.0);
         let cols = im2col(&x, kh, kw, spec);
-        let y = Tensor::from_fn(cols.shape().dims(), |i| ((i * 11 % 29) as f32 - 14.0) / 29.0);
+        let y = Tensor::from_fn(cols.shape().dims(), |i| {
+            ((i * 11 % 29) as f32 - 14.0) / 29.0
+        });
         let lhs: f32 = cols
             .as_slice()
             .iter()
@@ -449,6 +456,33 @@ mod tests {
             .map(|(a, b)| a * b)
             .sum();
         assert!((lhs - rhs).abs() < 1e-3, "lhs {lhs} vs rhs {rhs}");
+    }
+
+    #[test]
+    fn im2col_col2im_roundtrip_on_disjoint_patches() {
+        // With stride == kernel and no padding the patches tile the image
+        // exactly once, so col2im(im2col(x)) reconstructs x verbatim.
+        let dims = [3usize, 2, 6, 6];
+        let spec = ConvSpec { stride: 2, pad: 0 };
+        let x = Tensor::from_fn(&dims, |i| ((i * 7 % 41) as f32 - 20.0) / 41.0);
+        let cols = im2col(&x, 2, 2, spec);
+        let back = col2im(&cols, &dims, 2, 2, spec);
+        assert_eq!(back.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn pooled_and_serial_im2col_agree() {
+        let dims = [8usize, 3, 9, 9];
+        let spec = ConvSpec { stride: 1, pad: 1 };
+        let x = Tensor::from_fn(&dims, |i| (i as f32 * 0.07).sin());
+        let pooled = im2col(&x, 3, 3, spec);
+        let serial = crate::pool::with_serial(|| im2col(&x, 3, 3, spec));
+        assert_eq!(pooled.as_slice(), serial.as_slice());
+
+        let g = Tensor::from_fn(pooled.shape().dims(), |i| (i as f32 * 0.05).cos());
+        let pooled_b = col2im(&g, &dims, 3, 3, spec);
+        let serial_b = crate::pool::with_serial(|| col2im(&g, &dims, 3, 3, spec));
+        assert_eq!(pooled_b.as_slice(), serial_b.as_slice());
     }
 
     #[test]

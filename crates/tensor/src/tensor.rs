@@ -2,8 +2,18 @@
 //! shape-manipulation operations.
 
 use crate::linalg;
+use crate::pool;
 use crate::Shape;
 use std::fmt;
+
+/// Minimum elements per task for pooled elementwise loops; below twice this
+/// the pool runs the loop inline, so small tensors pay no dispatch cost.
+const ELEMENTWISE_GRAIN: usize = 16 * 1024;
+
+/// Fixed reduction chunk. Partial sums are always taken over `[i·CHUNK,
+/// (i+1)·CHUNK)` windows regardless of pool size, so reductions are
+/// bit-identical for any thread count.
+const REDUCE_CHUNK: usize = 1 << 16;
 
 /// A dense, contiguous, row-major n-dimensional array of `f32`.
 ///
@@ -189,19 +199,29 @@ impl Tensor {
     // Unary elementwise
     // ---------------------------------------------------------------------
 
-    /// Applies `f` to every element, producing a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+    /// Applies `f` to every element, producing a new tensor. Large tensors
+    /// are processed in parallel on the worker pool, so `f` must be `Sync`.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let src = &self.data;
+        let mut data = vec![0.0f32; src.len()];
+        pool::parallel_for_mut(&mut data, 1, ELEMENTWISE_GRAIN, |start, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = f(src[start + i]);
+            }
+        });
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data,
         }
     }
 
-    /// Applies `f` to every element in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
-            *v = f(*v);
-        }
+    /// Applies `f` to every element in place (pooled for large tensors).
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        pool::parallel_for_mut(&mut self.data, 1, ELEMENTWISE_GRAIN, |_, chunk| {
+            for v in chunk {
+                *v = f(*v);
+            }
+        });
     }
 
     /// Elementwise negation.
@@ -340,17 +360,19 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if the shapes are not broadcast-compatible.
-    pub fn broadcast_zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    pub fn broadcast_zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         if self.shape == other.shape {
-            // Fast path: identical shapes.
+            // Fast path: identical shapes, pooled for large tensors.
+            let (a, b) = (&self.data, &other.data);
+            let mut data = vec![0.0f32; a.len()];
+            pool::parallel_for_mut(&mut data, 1, ELEMENTWISE_GRAIN, |start, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = f(a[start + i], b[start + i]);
+                }
+            });
             return Tensor {
                 shape: self.shape.clone(),
-                data: self
-                    .data
-                    .iter()
-                    .zip(&other.data)
-                    .map(|(&a, &b)| f(a, b))
-                    .collect(),
+                data,
             };
         }
         if other.numel() == 1 {
@@ -415,15 +437,18 @@ impl Tensor {
         self.zip_assign(other, |a, b| a + alpha * b);
     }
 
-    fn zip_assign(&mut self, other: &Tensor, f: impl Fn(f32, f32) -> f32) {
+    fn zip_assign(&mut self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) {
         assert_eq!(
             self.shape, other.shape,
             "in-place op requires identical shapes, got {} vs {}",
             self.shape, other.shape
         );
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a = f(*a, b);
-        }
+        let b = &other.data;
+        pool::parallel_for_mut(&mut self.data, 1, ELEMENTWISE_GRAIN, |start, chunk| {
+            for (i, a) in chunk.iter_mut().enumerate() {
+                *a = f(*a, b[start + i]);
+            }
+        });
     }
 
     // ---------------------------------------------------------------------
@@ -431,9 +456,22 @@ impl Tensor {
     // ---------------------------------------------------------------------
 
     /// Sum of all elements.
+    ///
+    /// Accumulates in `f64` over fixed [`REDUCE_CHUNK`]-sized windows (the
+    /// windows run on the pool, the partials fold in index order), so the
+    /// result does not depend on the pool size.
     pub fn sum(&self) -> f32 {
-        // Pairwise-ish accumulation in f64 for stability on large tensors.
-        self.data.iter().map(|&v| v as f64).sum::<f64>() as f32
+        let n = self.data.len();
+        if n <= REDUCE_CHUNK {
+            return self.data.iter().map(|&v| v as f64).sum::<f64>() as f32;
+        }
+        let chunks = n.div_ceil(REDUCE_CHUNK);
+        let partials = pool::parallel_tasks(chunks, |ci| {
+            let start = ci * REDUCE_CHUNK;
+            let end = (start + REDUCE_CHUNK).min(n);
+            self.data[start..end].iter().map(|&v| v as f64).sum::<f64>()
+        });
+        partials.into_iter().sum::<f64>() as f32
     }
 
     /// Mean of all elements.
@@ -564,16 +602,25 @@ impl Tensor {
     /// Panics unless the tensor is rank 2.
     pub fn log_softmax_rows(&self) -> Tensor {
         assert_eq!(self.rank(), 2, "log_softmax_rows requires a [N, C] tensor");
-        let (n, c) = (self.dim(0), self.dim(1));
-        let mut data = vec![0.0f32; n * c];
-        for r in 0..n {
-            let row = &self.data[r * c..(r + 1) * c];
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let logsum = row.iter().map(|&v| ((v - m) as f64).exp()).sum::<f64>().ln() as f32;
-            for (j, &v) in row.iter().enumerate() {
-                data[r * c + j] = v - m - logsum;
+        let (_, c) = (self.dim(0), self.dim(1));
+        let src = &self.data;
+        let mut data = vec![0.0f32; src.len()];
+        let grain_rows = (ELEMENTWISE_GRAIN / c).max(1);
+        pool::parallel_for_mut(&mut data, c, grain_rows, |r0, chunk| {
+            for (ri, out_row) in chunk.chunks_mut(c).enumerate() {
+                let r = r0 + ri;
+                let row = &src[r * c..(r + 1) * c];
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let logsum = row
+                    .iter()
+                    .map(|&v| ((v - m) as f64).exp())
+                    .sum::<f64>()
+                    .ln() as f32;
+                for (j, &v) in row.iter().enumerate() {
+                    out_row[j] = v - m - logsum;
+                }
             }
-        }
+        });
         Tensor {
             shape: self.shape.clone(),
             data,
@@ -684,7 +731,10 @@ impl Tensor {
     /// Panics if `indices` is empty or any index is out of bounds.
     pub fn select_rows(&self, indices: &[usize]) -> Tensor {
         assert!(self.rank() >= 1, "select_rows requires rank >= 1");
-        assert!(!indices.is_empty(), "select_rows requires at least one index");
+        assert!(
+            !indices.is_empty(),
+            "select_rows requires at least one index"
+        );
         let n = self.dim(0);
         let row = self.numel() / n;
         let mut dims = self.shape.dims().to_vec();
@@ -707,7 +757,10 @@ impl Tensor {
     ///
     /// Panics if `parts` is empty or shapes disagree beyond axis 0.
     pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
-        assert!(!parts.is_empty(), "concat_rows requires at least one tensor");
+        assert!(
+            !parts.is_empty(),
+            "concat_rows requires at least one tensor"
+        );
         let tail = &parts[0].shape.dims()[1..];
         let mut total = 0;
         for p in parts {
@@ -783,11 +836,7 @@ impl BroadcastIndexer {
     }
 
     fn offset(&self, index: &[usize]) -> usize {
-        index
-            .iter()
-            .zip(&self.strides)
-            .map(|(&i, &s)| i * s)
-            .sum()
+        index.iter().zip(&self.strides).map(|(&i, &s)| i * s).sum()
     }
 }
 

@@ -1,190 +1,229 @@
 //! Property-based tests for the tensor substrate: algebraic laws that must
-//! hold for arbitrary shapes and values.
+//! hold for arbitrary shapes and values. Uses the in-repo [`check`] helper
+//! (deterministic seeded cases, no external framework).
 
+use gandef_tensor::check::{self, Gen};
 use gandef_tensor::conv::{self, ConvSpec};
-use gandef_tensor::rng::Prng;
 use gandef_tensor::{linalg, Shape, Tensor};
-use proptest::prelude::*;
 
-/// Strategy: a tensor with rank 1..=3, small dims, values in [-10, 10].
-fn small_tensor() -> impl Strategy<Value = Tensor> {
-    prop::collection::vec(1usize..5, 1..4).prop_flat_map(|dims| {
-        let n: usize = dims.iter().product();
-        prop::collection::vec(-10.0f32..10.0, n)
-            .prop_map(move |data| Tensor::from_vec(dims.clone(), data))
-    })
+/// A tensor with rank 1..=3, small dims, values in [-10, 10).
+fn small_tensor(g: &mut Gen) -> Tensor {
+    let rank = g.usize_in(1, 3);
+    let dims: Vec<usize> = (0..rank).map(|_| g.usize_in(1, 4)).collect();
+    g.tensor(&dims, -10.0, 10.0)
 }
 
-/// Strategy: two same-shaped tensors.
-fn tensor_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
-    prop::collection::vec(1usize..5, 1..4).prop_flat_map(|dims| {
-        let n: usize = dims.iter().product();
-        let d2 = dims.clone();
-        (
-            prop::collection::vec(-10.0f32..10.0, n)
-                .prop_map(move |data| Tensor::from_vec(dims.clone(), data)),
-            prop::collection::vec(-10.0f32..10.0, n)
-                .prop_map(move |data| Tensor::from_vec(d2.clone(), data)),
-        )
-    })
+/// Two same-shaped tensors.
+fn tensor_pair(g: &mut Gen) -> (Tensor, Tensor) {
+    let rank = g.usize_in(1, 3);
+    let dims: Vec<usize> = (0..rank).map(|_| g.usize_in(1, 4)).collect();
+    (g.tensor(&dims, -10.0, 10.0), g.tensor(&dims, -10.0, 10.0))
 }
 
-proptest! {
-    #[test]
-    fn add_commutes((a, b) in tensor_pair()) {
-        prop_assert!(a.add(&b).allclose(&b.add(&a), 1e-5));
-    }
+#[test]
+fn add_commutes() {
+    check::cases(64, |g| {
+        let (a, b) = tensor_pair(g);
+        assert!(a.add(&b).allclose(&b.add(&a), 1e-5));
+    });
+}
 
-    #[test]
-    fn sub_is_add_neg((a, b) in tensor_pair()) {
-        prop_assert!(a.sub(&b).allclose(&a.add(&b.neg()), 1e-5));
-    }
+#[test]
+fn sub_is_add_neg() {
+    check::cases(64, |g| {
+        let (a, b) = tensor_pair(g);
+        assert!(a.sub(&b).allclose(&a.add(&b.neg()), 1e-5));
+    });
+}
 
-    #[test]
-    fn mul_distributes_over_add((a, b) in tensor_pair()) {
+#[test]
+fn mul_distributes_over_add() {
+    check::cases(64, |g| {
+        let (a, b) = tensor_pair(g);
         let lhs = a.mul(&a.add(&b));
         let rhs = a.mul(&a).add(&a.mul(&b));
-        prop_assert!(lhs.allclose(&rhs, 1e-2));
-    }
+        assert!(lhs.allclose(&rhs, 1e-2));
+    });
+}
 
-    #[test]
-    fn relu_is_idempotent(a in small_tensor()) {
+#[test]
+fn relu_is_idempotent() {
+    check::cases(64, |g| {
+        let a = small_tensor(g);
         let r = a.relu();
-        prop_assert_eq!(r.relu(), r);
-    }
+        assert_eq!(r.relu(), r);
+    });
+}
 
-    #[test]
-    fn clamp_bounds_hold(a in small_tensor(), lo in -5.0f32..0.0, width in 0.1f32..5.0) {
-        let hi = lo + width;
+#[test]
+fn clamp_bounds_hold() {
+    check::cases(64, |g| {
+        let a = small_tensor(g);
+        let lo = g.f32_in(-5.0, 0.0);
+        let hi = lo + g.f32_in(0.1, 5.0);
         let c = a.clamp(lo, hi);
-        prop_assert!(c.as_slice().iter().all(|&v| v >= lo && v <= hi));
-    }
+        assert!(c.as_slice().iter().all(|&v| v >= lo && v <= hi));
+    });
+}
 
-    #[test]
-    fn sigmoid_in_unit_interval(a in small_tensor()) {
+#[test]
+fn sigmoid_in_unit_interval() {
+    check::cases(64, |g| {
+        let a = small_tensor(g);
         let s = a.sigmoid();
-        prop_assert!(s.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
-    }
+        assert!(s.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    });
+}
 
-    #[test]
-    fn sum_axis_preserves_total(a in small_tensor()) {
+#[test]
+fn sum_axis_preserves_total() {
+    check::cases(64, |g| {
+        let a = small_tensor(g);
         for axis in 0..a.rank() {
             let s = a.sum_axis(axis);
-            prop_assert!((s.sum() - a.sum()).abs() < 1e-2 * (1.0 + a.sum().abs()));
+            assert!((s.sum() - a.sum()).abs() < 1e-2 * (1.0 + a.sum().abs()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn reshape_preserves_data(a in small_tensor()) {
+#[test]
+fn reshape_preserves_data() {
+    check::cases(64, |g| {
+        let a = small_tensor(g);
         let n = a.numel();
         let r = a.reshape(&[n]);
-        prop_assert_eq!(r.as_slice(), a.as_slice());
-    }
+        assert_eq!(r.as_slice(), a.as_slice());
+    });
+}
 
-    #[test]
-    fn softmax_rows_are_distributions(
-        rows in 1usize..5, cols in 2usize..6,
-        seed in 0u64..1000
-    ) {
-        let mut rng = Prng::new(seed);
-        let t = rng.uniform_tensor(&[rows, cols], -8.0, 8.0);
+#[test]
+fn softmax_rows_are_distributions() {
+    check::cases(64, |g| {
+        let rows = g.usize_in(1, 4);
+        let cols = g.usize_in(2, 5);
+        let t = g.tensor(&[rows, cols], -8.0, 8.0);
         let s = t.softmax_rows();
         for r in 0..rows {
             let total: f32 = (0..cols).map(|c| s.at(&[r, c])).sum();
-            prop_assert!((total - 1.0).abs() < 1e-4);
+            assert!((total - 1.0).abs() < 1e-4);
         }
         // argmax is invariant under softmax (monotone map).
-        prop_assert_eq!(t.argmax_rows(), s.argmax_rows());
-    }
+        assert_eq!(t.argmax_rows(), s.argmax_rows());
+    });
+}
 
-    #[test]
-    fn broadcast_then_reduce_roundtrips_ones(
-        m in 1usize..5, n in 1usize..5, seed in 0u64..1000
-    ) {
+#[test]
+fn broadcast_then_reduce_roundtrips_ones() {
+    check::cases(64, |g| {
         // x: [m,1] broadcast-added with zeros[m,n], then reduced back,
         // equals n * x.
-        let mut rng = Prng::new(seed);
-        let x = rng.uniform_tensor(&[m, 1], -1.0, 1.0);
+        let m = g.usize_in(1, 4);
+        let n = g.usize_in(1, 4);
+        let x = g.tensor(&[m, 1], -1.0, 1.0);
         let big = x.add(&Tensor::zeros(&[m, n]));
         let back = big.reduce_to(&Shape::new(vec![m, 1]));
-        prop_assert!(back.allclose(&x.scale(n as f32), 1e-4));
-    }
+        assert!(back.allclose(&x.scale(n as f32), 1e-4));
+    });
+}
 
-    #[test]
-    fn matmul_linear_in_lhs(
-        m in 1usize..4, k in 1usize..4, n in 1usize..4,
-        alpha in -2.0f32..2.0, seed in 0u64..1000
-    ) {
-        let mut rng = Prng::new(seed);
-        let a = rng.uniform_tensor(&[m, k], -1.0, 1.0);
-        let b = rng.uniform_tensor(&[m, k], -1.0, 1.0);
-        let x = rng.uniform_tensor(&[k, n], -1.0, 1.0);
+#[test]
+fn matmul_linear_in_lhs() {
+    check::cases(64, |g| {
+        let m = g.usize_in(1, 3);
+        let k = g.usize_in(1, 3);
+        let n = g.usize_in(1, 3);
+        let alpha = g.f32_in(-2.0, 2.0);
+        let a = g.tensor(&[m, k], -1.0, 1.0);
+        let b = g.tensor(&[m, k], -1.0, 1.0);
+        let x = g.tensor(&[k, n], -1.0, 1.0);
         // (a + αb)·x == a·x + α(b·x)
         let lhs = linalg::matmul(&a.add(&b.scale(alpha)), &x);
         let rhs = linalg::matmul(&a, &x).add(&linalg::matmul(&b, &x).scale(alpha));
-        prop_assert!(lhs.allclose(&rhs, 1e-3));
-    }
+        assert!(lhs.allclose(&rhs, 1e-3));
+    });
+}
 
-    #[test]
-    fn matmul_transpose_identity(
-        m in 1usize..4, k in 1usize..4, n in 1usize..4, seed in 0u64..1000
-    ) {
+#[test]
+fn matmul_transpose_identity() {
+    check::cases(64, |g| {
         // (A·B)ᵀ == Bᵀ·Aᵀ
-        let mut rng = Prng::new(seed);
-        let a = rng.uniform_tensor(&[m, k], -1.0, 1.0);
-        let b = rng.uniform_tensor(&[k, n], -1.0, 1.0);
+        let m = g.usize_in(1, 3);
+        let k = g.usize_in(1, 3);
+        let n = g.usize_in(1, 3);
+        let a = g.tensor(&[m, k], -1.0, 1.0);
+        let b = g.tensor(&[k, n], -1.0, 1.0);
         let lhs = linalg::matmul(&a, &b).transpose2d();
         let rhs = linalg::matmul(&b.transpose2d(), &a.transpose2d());
-        prop_assert!(lhs.allclose(&rhs, 1e-3));
-    }
+        assert!(lhs.allclose(&rhs, 1e-3));
+    });
+}
 
-    #[test]
-    fn im2col_col2im_adjoint(
-        n in 1usize..3, c in 1usize..3, hw in 4usize..7,
-        stride in 1usize..3, pad in 0usize..2, seed in 0u64..500
-    ) {
+#[test]
+fn im2col_col2im_adjoint() {
+    check::cases(64, |g| {
         // <im2col(x), y> == <x, col2im(y)> — the adjoint property that makes
         // the convolution backward pass correct by construction.
+        let n = g.usize_in(1, 2);
+        let c = g.usize_in(1, 2);
+        let hw = g.usize_in(4, 6);
+        let stride = g.usize_in(1, 2);
+        let pad = g.usize_in(0, 1);
         let spec = ConvSpec { stride, pad };
         let k = 3usize;
-        prop_assume!(hw + 2 * pad >= k);
-        let dims = [n, c, hw, hw];
-        let mut rng = Prng::new(seed);
-        let x = rng.uniform_tensor(&dims, -1.0, 1.0);
-        let cols = conv::im2col(&x, k, k, spec);
-        let y = rng.uniform_tensor(cols.shape().dims(), -1.0, 1.0);
-        let lhs: f32 = cols.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
-        let back = conv::col2im(&y, &dims, k, k, spec);
-        let rhs: f32 = x.as_slice().iter().zip(back.as_slice()).map(|(a, b)| a * b).sum();
-        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
-    }
-
-    #[test]
-    fn maxpool_output_dominates_mean(
-        n in 1usize..3, c in 1usize..3, hw in 2usize..7, seed in 0u64..500
-    ) {
-        let mut rng = Prng::new(seed);
-        let x = rng.uniform_tensor(&[n, c, hw, hw], -1.0, 1.0);
-        let (pooled, idx) = conv::maxpool2d(&x, 2);
-        prop_assume!(hw >= 2);
-        // Every pooled value is >= the mean of the image (it's a max of a
-        // subset) — weak but shape-independent sanity; and every index is in
-        // bounds and points at the recorded value.
-        for (o, &i) in pooled.as_slice().iter().zip(&idx) {
-            prop_assert!(i < x.numel());
-            prop_assert_eq!(*o, x.as_slice()[i]);
+        if hw + 2 * pad < k {
+            return;
         }
-    }
+        let dims = [n, c, hw, hw];
+        let x = g.tensor(&dims, -1.0, 1.0);
+        let cols = conv::im2col(&x, k, k, spec);
+        let y = g.tensor(cols.shape().dims(), -1.0, 1.0);
+        let lhs: f32 = cols
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let back = conv::col2im(&y, &dims, k, k, spec);
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    });
+}
 
-    #[test]
-    fn signum_times_abs_recovers_value(a in small_tensor()) {
+#[test]
+fn maxpool_output_dominates_mean() {
+    check::cases(64, |g| {
+        let n = g.usize_in(1, 2);
+        let c = g.usize_in(1, 2);
+        let hw = g.usize_in(2, 6);
+        let x = g.tensor(&[n, c, hw, hw], -1.0, 1.0);
+        let (pooled, idx) = conv::maxpool2d(&x, 2);
+        // Every index is in bounds and points at the recorded value.
+        for (o, &i) in pooled.as_slice().iter().zip(&idx) {
+            assert!(i < x.numel());
+            assert_eq!(*o, x.as_slice()[i]);
+        }
+    });
+}
+
+#[test]
+fn signum_times_abs_recovers_value() {
+    check::cases(64, |g| {
+        let a = small_tensor(g);
         let rebuilt = a.signum().mul(&a.abs());
-        prop_assert!(rebuilt.allclose(&a, 1e-6));
-    }
+        assert!(rebuilt.allclose(&a, 1e-6));
+    });
+}
 
-    #[test]
-    fn linf_norm_bounds_all_elements(a in small_tensor()) {
+#[test]
+fn linf_norm_bounds_all_elements() {
+    check::cases(64, |g| {
+        let a = small_tensor(g);
         let m = a.linf_norm();
-        prop_assert!(a.as_slice().iter().all(|v| v.abs() <= m + 1e-6));
-    }
+        assert!(a.as_slice().iter().all(|v| v.abs() <= m + 1e-6));
+    });
 }

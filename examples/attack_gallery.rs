@@ -6,9 +6,7 @@
 //! cargo run --release --example attack_gallery
 //! ```
 
-use zk_gandef_repro::attack::{
-    Attack, AttackBudget, Bim, CarliniWagner, DeepFool, Fgsm, Pgd,
-};
+use zk_gandef_repro::attack::{Attack, AttackBudget, Bim, CarliniWagner, DeepFool, Fgsm, Pgd};
 use zk_gandef_repro::data::{generate, DatasetKind, GenSpec};
 use zk_gandef_repro::defense::defense::{Defense, Vanilla};
 use zk_gandef_repro::defense::TrainConfig;
@@ -31,7 +29,10 @@ fn main() {
     let mut net = Net::new(zoo::mlp(28 * 28, 64, 10), &mut rng);
     Vanilla.train(&mut net, &ds, &cfg, &mut rng);
     let clean = accuracy(&net.predict(&ds.test_x), &ds.test_y);
-    println!("victim: Vanilla MLP, clean accuracy {:.1}%\n", clean * 100.0);
+    println!(
+        "victim: Vanilla MLP, clean accuracy {:.1}%\n",
+        clean * 100.0
+    );
 
     let b = AttackBudget::for_28x28();
     let attacks: Vec<Box<dyn Attack>> = vec![

@@ -45,10 +45,12 @@ fn main() {
         },
     );
     let settings = [(1.0f32, 0.4f32), (1.0, 0.01), (0.1, 0.4), (0.1, 0.01)];
-    println!("CLS on {} — loss per epoch (high→low within each row):\n", ds.kind);
+    println!(
+        "CLS on {} — loss per epoch (high→low within each row):\n",
+        ds.kind
+    );
     for (sigma, lambda) in settings {
-        let mut cfg =
-            TrainConfig::quick(DatasetKind::SynthCifar).with_sigma_lambda(sigma, lambda);
+        let mut cfg = TrainConfig::quick(DatasetKind::SynthCifar).with_sigma_lambda(sigma, lambda);
         cfg.epochs = 8;
         let mut rng = Prng::new(0);
         let mut net = Net::new(zoo::allcnn(3, 0.2), &mut rng);

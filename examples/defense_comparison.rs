@@ -51,7 +51,11 @@ fn main() {
             clean * 100.0,
             robust * 100.0,
             report.mean_epoch_seconds(),
-            if report.failed_to_converge(0.10) { "NO" } else { "yes" }
+            if report.failed_to_converge(0.10) {
+                "NO"
+            } else {
+                "yes"
+            }
         );
     }
     println!("\n(the paper's §V-D convergence pathology of CLP/CLS appears at the");

@@ -84,9 +84,7 @@ fn main() {
             adv_conf * 100.0,
             ascii(&adv)
         );
-        println!(
-            "\"{truth}\" + ε·sign(∇ₓL) = \"{adv_pred}\" — the Figure-1 effect."
-        );
+        println!("\"{truth}\" + ε·sign(∇ₓL) = \"{adv_pred}\" — the Figure-1 effect.");
         return;
     }
     println!("no fooled example found — the classifier resisted every test image");

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Offline CI gate: everything here must pass with no registry access.
+#
+#   scripts/ci.sh
+#
+# Steps: format check, release build, full test suite, and a smoke run of
+# the kernel micro-benchmarks (writes BENCH_smoke.json to a temp dir so
+# the checked-in BENCH_tensor.json is never clobbered by a smoke run).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The workspace has a zero-external-dependency policy (see Cargo.toml);
+# forcing offline mode makes any accidental registry dependency fail fast.
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> bench_kernels --smoke"
+out="$(mktemp -d)"
+./target/release/bench_kernels --smoke --out "$out/BENCH_smoke.json"
+rm -rf "$out"
+
+echo "CI OK"

@@ -3,9 +3,7 @@
 //! valid pixel range (the paper's `F` projection) — including on RGB
 //! conv inputs where broadcasting bugs would hide.
 
-use zk_gandef_repro::attack::{
-    Attack, AttackBudget, Bim, CarliniWagner, DeepFool, Fgsm, Pgd,
-};
+use zk_gandef_repro::attack::{Attack, AttackBudget, Bim, CarliniWagner, DeepFool, Fgsm, Pgd};
 use zk_gandef_repro::data::{generate, DatasetKind, GenSpec};
 use zk_gandef_repro::defense::classifier_for;
 use zk_gandef_repro::tensor::rng::Prng;
@@ -40,7 +38,12 @@ fn all_attacks_respect_constraints_on_all_dataset_families() {
         for attack in attack_set(&budget) {
             let mut arng = Prng::new(1);
             let adv = attack.perturb(&net, &ds.test_x, &ds.test_y, &mut arng);
-            assert_eq!(adv.shape(), ds.test_x.shape(), "{} on {kind}", attack.name());
+            assert_eq!(
+                adv.shape(),
+                ds.test_x.shape(),
+                "{} on {kind}",
+                attack.name()
+            );
             let delta = adv.sub(&ds.test_x).linf_norm();
             assert!(
                 delta <= budget.eps + 1e-4,
@@ -53,7 +56,11 @@ fn all_attacks_respect_constraints_on_all_dataset_families() {
                 "{} on {kind}: pixels out of range",
                 attack.name()
             );
-            assert!(adv.is_finite(), "{} on {kind}: non-finite pixels", attack.name());
+            assert!(
+                adv.is_finite(),
+                "{} on {kind}: non-finite pixels",
+                attack.name()
+            );
         }
     }
 }

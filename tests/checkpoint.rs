@@ -28,10 +28,7 @@ fn trained_model_roundtrips_through_checkpoint() {
 
     // Save, then restore into a *differently initialized* instance of the
     // same architecture.
-    let path = std::env::temp_dir().join(format!(
-        "gandef-ckpt-{}.gndf",
-        std::process::id()
-    ));
+    let path = std::env::temp_dir().join(format!("gandef-ckpt-{}.gndf", std::process::id()));
     save_params(&trained.params, &path).expect("save");
     let mut fresh = Net::new(zoo::mlp(28 * 28, 24, 10), &mut Prng::new(999));
     assert_ne!(
@@ -52,10 +49,7 @@ fn trained_model_roundtrips_through_checkpoint() {
 fn checkpoint_refuses_wrong_architecture() {
     let mut rng = Prng::new(0);
     let small = Net::new(zoo::mlp(28 * 28, 24, 10), &mut rng);
-    let path = std::env::temp_dir().join(format!(
-        "gandef-ckpt-wrong-{}.gndf",
-        std::process::id()
-    ));
+    let path = std::env::temp_dir().join(format!("gandef-ckpt-wrong-{}.gndf", std::process::id()));
     save_params(&small.params, &path).expect("save");
     // Different hidden width → shape mismatch.
     let mut other = Net::new(zoo::mlp(28 * 28, 32, 10), &mut Prng::new(1));

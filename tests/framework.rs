@@ -5,9 +5,7 @@
 use zk_gandef_repro::attack::AttackBudget;
 use zk_gandef_repro::data::{generate, DatasetKind, GenSpec};
 use zk_gandef_repro::defense::defense::{Defense, Vanilla};
-use zk_gandef_repro::defense::eval::{
-    evaluate, standard_attacks, AccuracyGrid, TABLE3_EXAMPLES,
-};
+use zk_gandef_repro::defense::eval::{evaluate, standard_attacks, AccuracyGrid, TABLE3_EXAMPLES};
 use zk_gandef_repro::defense::TrainConfig;
 use zk_gandef_repro::nn::{zoo, Net};
 use zk_gandef_repro::tensor::rng::Prng;
@@ -77,7 +75,11 @@ fn grid_records_multiple_defenses_and_renders() {
     assert!(md.contains("### SynthDigits"));
     assert!(md.contains("| Vanilla |"));
     let csv = grid.to_csv();
-    assert_eq!(csv.lines().count(), 1 + 2 * 4, "header + 2 defenses × 4 examples");
+    assert_eq!(
+        csv.lines().count(),
+        1 + 2 * 4,
+        "header + 2 defenses × 4 examples"
+    );
 }
 
 #[test]

@@ -3,9 +3,7 @@
 //! return a discriminator artifact.
 
 use zk_gandef_repro::data::{generate, DatasetKind, GenSpec};
-use zk_gandef_repro::defense::defense::{
-    AdvTraining, Clp, Cls, Defense, GanDef, Vanilla,
-};
+use zk_gandef_repro::defense::defense::{AdvTraining, Clp, Cls, Defense, GanDef, Vanilla};
 use zk_gandef_repro::defense::{classifier_for, TrainConfig};
 use zk_gandef_repro::nn::{zoo, Net};
 use zk_gandef_repro::tensor::rng::Prng;
@@ -113,5 +111,9 @@ fn train_reports_support_figure5_statistics() {
     assert!(report.mean_epoch_seconds() > 0.0);
     assert!(report.total_seconds() >= report.mean_epoch_seconds() * 2.9);
     // Vanilla on clean digits must actually descend.
-    assert!(!report.failed_to_converge(0.05), "{:?}", report.epoch_losses);
+    assert!(
+        !report.failed_to_converge(0.05),
+        "{:?}",
+        report.epoch_losses
+    );
 }
