@@ -6,6 +6,7 @@
 //! adjoint of broadcasting.
 
 use crate::tape::{Tape, VarId};
+use gandef_tensor::accum::{accum, Accum};
 use gandef_tensor::conv::{self, ConvSpec};
 use gandef_tensor::rng::Prng;
 use gandef_tensor::{linalg, Tensor};
@@ -293,6 +294,12 @@ impl Tape {
     /// pass is the classic `(softmax(z) − t)/N`. Targets are constants and
     /// receive no gradient.
     ///
+    /// Under [`Accum::F64`] the loss value is computed in one fused `f64`
+    /// chain per row (shift, partition function, target dot and the batch
+    /// mean all in `f64`), rounding to `f32` only once — the scalar the
+    /// minimax game compares C-vs-D updates on never sees intermediate
+    /// `f32` rounding.
+    ///
     /// # Panics
     ///
     /// Panics on shape mismatch or non-rank-2 inputs.
@@ -306,7 +313,10 @@ impl Tape {
         );
         let n = logits.dim(0) as f32;
         let log_probs = logits.log_softmax_rows();
-        let value = Tensor::scalar(-log_probs.mul(targets).sum() / n);
+        let value = match accum() {
+            Accum::F32 => Tensor::scalar(-log_probs.mul(targets).sum() / n),
+            Accum::F64 => Tensor::scalar(softmax_cross_entropy_f64(&logits, targets)),
+        };
         let softmax = log_probs.exp();
         let targets = targets.clone();
         self.push(
@@ -428,6 +438,26 @@ impl Tape {
         let value = self.value(x).mul(&mask);
         self.push(value, vec![x], Some(Box::new(move |g| vec![g.mul(&mask)])))
     }
+}
+
+/// Fused `f64` softmax cross-entropy value: per row, the max shift, the
+/// partition function, the log and the target dot product all accumulate
+/// in `f64`, as does the batch mean — one rounding to `f32` at the end.
+fn softmax_cross_entropy_f64(logits: &Tensor, targets: &Tensor) -> f32 {
+    let (n, c) = (logits.dim(0), logits.dim(1));
+    let zs = logits.as_slice();
+    let ts = targets.as_slice();
+    let mut total = 0.0f64;
+    for r in 0..n {
+        let row = &zs[r * c..(r + 1) * c];
+        let trow = &ts[r * c..(r + 1) * c];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
+        let logsum = row.iter().map(|&v| (v as f64 - m).exp()).sum::<f64>().ln();
+        for (&zv, &tv) in row.iter().zip(trow) {
+            total -= tv as f64 * (zv as f64 - m - logsum);
+        }
+    }
+    (total / n as f64) as f32
 }
 
 #[cfg(test)]
@@ -658,6 +688,32 @@ mod tests {
 
         // Gradient against finite differences.
         check_input_grad(&z0, |t, x| t.softmax_cross_entropy(x, &targets), 1e-2);
+    }
+
+    #[test]
+    fn softmax_ce_f64_mode_matches_value_and_grad() {
+        use gandef_tensor::accum::with_accum;
+        let z0 = Tensor::from_vec(vec![2, 3], vec![2.0, 1.0, 0.1, -0.3, 0.7, 0.2]);
+        let targets = Tensor::from_vec(vec![2, 3], vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
+        let run = |mode: Accum| {
+            with_accum(mode, || {
+                let mut tape = Tape::new();
+                let z = tape.leaf(z0.clone());
+                let loss = tape.softmax_cross_entropy(z, &targets);
+                let value = tape.value(loss).item();
+                let grads = tape.backward(loss);
+                (value, grads.get(z).unwrap().clone())
+            })
+        };
+        let (v32, g32) = run(Accum::F32);
+        let (v64, g64) = run(Accum::F64);
+        // Same quantity, different rounding — tight but not bitwise.
+        assert!((v32 - v64).abs() < 1e-5, "{v32} vs {v64}");
+        assert!(g32.allclose(&g64, 1e-5));
+        // The f64 value also matches the hand-derived f64 reference.
+        let lsm = z0.log_softmax_rows();
+        let expect = -(lsm.at(&[0, 0]) + lsm.at(&[1, 1])) / 2.0;
+        assert!((v64 - expect).abs() < 1e-5);
     }
 
     #[test]

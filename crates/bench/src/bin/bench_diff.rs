@@ -1,0 +1,114 @@
+//! Benchmark regression gate: compares a fresh `bench_kernels` run against
+//! the checked-in `BENCH_tensor.json` and fails on large throughput drops.
+//!
+//! The fresh run is usually a `--smoke` run, whose problem sizes are
+//! *smaller* than the recorded full sizes, so raw `ns_per_iter` values are
+//! not comparable. Throughput (GFLOP/s) is roughly size-independent for
+//! the kernels measured here, so the gate compares that instead, kernel by
+//! kernel (matched by name), and only where both sides report a non-zero
+//! FLOP count. The threshold is deliberately generous — it exists to catch
+//! order-of-magnitude regressions (a kernel silently falling back to a
+//! naive path), not scheduler noise; see DESIGN.md "Benchmark gate".
+//!
+//! Usage: `bench_diff --baseline BENCH_tensor.json --fresh BENCH_smoke.json
+//! [--min-ratio 0.3]` — exits 1 if any matched kernel's fresh throughput
+//! falls below `min-ratio` × the baseline throughput.
+
+use gandef_bench::microbench::{self, Measurement};
+use std::process::ExitCode;
+
+/// Default fresh/baseline throughput ratio below which the gate fails.
+/// 0.3 tolerates smoke-size and machine variance while still catching the
+/// ~3x slowdown of e.g. reverting to the seed's naive GEMM.
+const DEFAULT_MIN_RATIO: f64 = 0.3;
+
+fn load(path: &str) -> Vec<Measurement> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_diff: read {path}: {e}");
+        std::process::exit(2);
+    });
+    microbench::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("bench_diff: parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() -> ExitCode {
+    let mut baseline_path = String::from("BENCH_tensor.json");
+    let mut fresh_path = String::new();
+    let mut min_ratio = DEFAULT_MIN_RATIO;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = args.next().expect("--baseline requires a path"),
+            "--fresh" => fresh_path = args.next().expect("--fresh requires a path"),
+            "--min-ratio" => {
+                min_ratio = args
+                    .next()
+                    .expect("--min-ratio requires a number")
+                    .parse()
+                    .expect("--min-ratio must be a number");
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other}; supported: --baseline PATH --fresh PATH --min-ratio X"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if fresh_path.is_empty() {
+        eprintln!("bench_diff: --fresh PATH is required");
+        return ExitCode::from(2);
+    }
+
+    let baseline = load(&baseline_path);
+    let fresh = load(&fresh_path);
+
+    println!(
+        "{:<18} {:>12} {:>12} {:>8}  verdict",
+        "kernel", "base GF/s", "fresh GF/s", "ratio"
+    );
+    let mut failed = false;
+    let mut compared = 0;
+    for f in &fresh {
+        let Some(b) = baseline.iter().find(|b| b.name == f.name) else {
+            println!(
+                "{:<18} {:>12} {:>12} {:>8}  new (no baseline)",
+                f.name, "-", "-", "-"
+            );
+            continue;
+        };
+        if b.gflops <= 0.0 || f.gflops <= 0.0 {
+            println!(
+                "{:<18} {:>12.2} {:>12.2} {:>8}  skipped (no FLOP count)",
+                f.name, b.gflops, f.gflops, "-"
+            );
+            continue;
+        }
+        compared += 1;
+        let ratio = f.gflops / b.gflops;
+        let ok = ratio >= min_ratio;
+        failed |= !ok;
+        println!(
+            "{:<18} {:>12.2} {:>12.2} {:>8.2}  {}",
+            f.name,
+            b.gflops,
+            f.gflops,
+            ratio,
+            if ok { "ok" } else { "REGRESSION" }
+        );
+    }
+    if compared == 0 {
+        eprintln!("bench_diff: no kernels matched between {baseline_path} and {fresh_path}");
+        return ExitCode::from(2);
+    }
+    if failed {
+        eprintln!(
+            "bench_diff: throughput regression beyond {min_ratio}x tolerance (baseline {baseline_path})"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_diff: {compared} kernels within {min_ratio}x of {baseline_path}");
+    ExitCode::SUCCESS
+}

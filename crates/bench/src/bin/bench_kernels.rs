@@ -16,6 +16,7 @@
 //! and sample counts for CI sanity runs).
 
 use gandef_bench::microbench::{self, Measurement};
+use gandef_tensor::accum::{with_accum, Accum};
 use gandef_tensor::conv::{self, ConvSpec};
 use gandef_tensor::linalg;
 use gandef_tensor::rng::Prng;
@@ -114,6 +115,18 @@ fn main() {
         samples,
         || linalg::matmul_nt(&a, &b),
     ));
+    // The f64-accumulation GEMM path (GANDEF_ACCUM=f64): same packed
+    // kernel, f64 tile accumulators, deliberately FMA-free. Recording it
+    // alongside the f32 path keeps the cost of trustworthy numerics
+    // visible PR over PR.
+    results.push(microbench::run(
+        "matmul_f64acc",
+        &gemm_shape,
+        gemm_flops,
+        warmup,
+        samples,
+        || with_accum(Accum::F64, || linalg::matmul(&a, &b)),
+    ));
 
     let batch = if smoke { 8 } else { 32 };
     let img = rng.uniform_tensor(&[batch, 3, 32, 32], -1.0, 1.0);
@@ -156,6 +169,27 @@ fn main() {
         warmup,
         samples,
         || x.sum(),
+    ));
+    // `sum` accumulates in f64 unconditionally (chunked, pool-invariant),
+    // so the accum mode only affects the axis reduction — record both of
+    // its paths.
+    let rows = big / 1024;
+    let mat = rng.uniform_tensor(&[rows, 1024], -1.0, 1.0);
+    results.push(microbench::run(
+        "sum_axis",
+        &format!("{rows}x1024 a0"),
+        big as u64,
+        warmup,
+        samples,
+        || mat.sum_axis(0),
+    ));
+    results.push(microbench::run(
+        "sum_axis_f64acc",
+        &format!("{rows}x1024 a0"),
+        big as u64,
+        warmup,
+        samples,
+        || with_accum(Accum::F64, || mat.sum_axis(0)),
     ));
 
     let stats = pool::stats();

@@ -90,6 +90,82 @@ fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Parses the JSON emitted by [`to_json`] back into measurements.
+///
+/// This is a minimal reader for the flat `{name, shape, ns_per_iter,
+/// gflops}` objects this module writes (the `bench_diff` gate compares a
+/// fresh run against the checked-in `BENCH_tensor.json`). It tolerates
+/// arbitrary whitespace and field order but not nested objects or braces
+/// inside strings — which `to_json` never produces.
+pub fn from_json(json: &str) -> Result<Vec<Measurement>, String> {
+    let trimmed = json.trim();
+    if !trimmed.starts_with('[') || !trimmed.ends_with(']') {
+        return Err("expected a JSON array of measurements".into());
+    }
+    let mut out = Vec::new();
+    let mut rest = trimmed;
+    while let Some(start) = rest.find('{') {
+        let end = rest[start..]
+            .find('}')
+            .ok_or_else(|| "unterminated object".to_string())?
+            + start;
+        let obj = &rest[start + 1..end];
+        out.push(Measurement {
+            name: str_field(obj, "name")?,
+            shape: str_field(obj, "shape")?,
+            ns_per_iter: num_field(obj, "ns_per_iter")?,
+            gflops: num_field(obj, "gflops")?,
+        });
+        rest = &rest[end + 1..];
+    }
+    Ok(out)
+}
+
+/// Extracts the string value of `key` from a flat JSON object body,
+/// undoing [`escape`].
+fn str_field(obj: &str, key: &str) -> Result<String, String> {
+    let tail = field_value(obj, key)?;
+    let tail = tail
+        .strip_prefix('"')
+        .ok_or_else(|| format!("field {key} is not a string"))?;
+    let mut value = String::new();
+    let mut chars = tail.chars();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(value),
+            Some('\\') => match chars.next() {
+                Some(c @ ('"' | '\\')) => value.push(c),
+                _ => return Err(format!("bad escape in field {key}")),
+            },
+            Some(c) => value.push(c),
+            None => return Err(format!("unterminated string for field {key}")),
+        }
+    }
+}
+
+/// Extracts the numeric value of `key` from a flat JSON object body.
+fn num_field(obj: &str, key: &str) -> Result<f64, String> {
+    let tail = field_value(obj, key)?;
+    let end = tail.find([',', '}']).unwrap_or(tail.len());
+    tail[..end]
+        .trim()
+        .parse::<f64>()
+        .map_err(|e| format!("field {key}: {e}"))
+}
+
+/// Returns the text immediately after `"key":`, trimmed.
+fn field_value<'a>(obj: &'a str, key: &str) -> Result<&'a str, String> {
+    let pat = format!("\"{key}\"");
+    let at = obj
+        .find(&pat)
+        .ok_or_else(|| format!("missing field {key}"))?;
+    let after = &obj[at + pat.len()..];
+    let colon = after
+        .find(':')
+        .ok_or_else(|| format!("missing ':' after {key}"))?;
+    Ok(after[colon + 1..].trim_start())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +185,43 @@ mod tests {
         assert!(m.gflops > 0.0);
         let none = run("no-flops", "1", 0, 0, 1, || 42);
         assert_eq!(none.gflops, 0.0);
+    }
+
+    #[test]
+    fn json_roundtrips_through_from_json() {
+        let ms = vec![
+            Measurement {
+                name: "matmul".into(),
+                shape: "256x256x256".into(),
+                ns_per_iter: 887853.0,
+                gflops: 37.793,
+            },
+            Measurement {
+                name: "odd \"name\" \\ here".into(),
+                shape: "1".into(),
+                ns_per_iter: 1.5,
+                gflops: 0.0,
+            },
+        ];
+        let back = from_json(&to_json(&ms)).expect("parse own output");
+        assert_eq!(back.len(), 2);
+        for (a, b) in ms.iter().zip(&back) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.shape, b.shape);
+            assert_eq!(a.ns_per_iter, b.ns_per_iter);
+            assert_eq!(a.gflops, b.gflops);
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        assert!(from_json("not json").is_err());
+        assert!(from_json("[\n  {\"name\": \"x\"}\n]").is_err()); // missing fields
+        assert!(from_json(
+            "[{\"name\": \"x\", \"shape\": \"s\", \"ns_per_iter\": \"nan?\", \"gflops\": 1}]"
+        )
+        .is_err());
+        assert_eq!(from_json("[]").expect("empty array").len(), 0);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use gandef_attack::AttackBudget;
 use gandef_data::DatasetKind;
+use gandef_tensor::accum::Accum;
 
 /// Hyper-parameters for one defense-training run.
 ///
@@ -40,6 +41,11 @@ pub struct TrainConfig {
     /// effect when the first parallel kernel runs and is fixed for the
     /// process lifetime thereafter.
     pub pool_threads: usize,
+    /// Accumulation precision for GEMM, reductions and the loss scalars
+    /// (`None` = keep the process default, which `GANDEF_ACCUM=f64` can
+    /// set). [`Accum::F64`] makes the whole training trajectory
+    /// independent of kernel tiling, thread count and FMA availability.
+    pub accum: Option<Accum>,
 }
 
 impl TrainConfig {
@@ -68,6 +74,7 @@ impl TrainConfig {
             train_pgd_iters: 7,
             budget,
             pool_threads: 0,
+            accum: None,
         }
     }
 
@@ -106,6 +113,12 @@ impl TrainConfig {
         self.pool_threads = threads;
         self
     }
+
+    /// Returns a copy with an explicit accumulation precision.
+    pub fn with_accum(mut self, accum: Accum) -> Self {
+        self.accum = Some(accum);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -140,15 +153,19 @@ mod tests {
         let cfg = TrainConfig::quick(DatasetKind::SynthDigits)
             .with_gamma(0.7)
             .with_sigma_lambda(0.1, 0.01)
-            .with_pool_threads(2);
+            .with_pool_threads(2)
+            .with_accum(Accum::F64);
         assert_eq!(cfg.gamma, 0.7);
         assert_eq!(cfg.sigma, 0.1);
         assert_eq!(cfg.lambda, 0.01);
         assert_eq!(cfg.pool_threads, 2);
+        assert_eq!(cfg.accum, Some(Accum::F64));
     }
 
     #[test]
     fn pool_defaults_to_auto() {
-        assert_eq!(TrainConfig::quick(DatasetKind::SynthDigits).pool_threads, 0);
+        let cfg = TrainConfig::quick(DatasetKind::SynthDigits);
+        assert_eq!(cfg.pool_threads, 0);
+        assert_eq!(cfg.accum, None, "numerics default to the process mode");
     }
 }

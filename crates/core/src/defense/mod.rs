@@ -109,11 +109,16 @@ pub(crate) fn timed_epoch(body: impl FnOnce() -> f32) -> (f64, f32) {
     (start.elapsed().as_secs_f64(), loss)
 }
 
-/// Applies the config's worker-pool sizing before training starts. Called
+/// Applies the config's numerics settings before training starts. Called
 /// at the top of every `Defense::train` so `cfg.pool_threads` governs the
-/// whole run; a no-op once the pool has been built by an earlier run.
+/// whole run (a no-op once the pool has been built by an earlier run) and
+/// `cfg.accum`, when set, selects the process-wide accumulation precision
+/// for every kernel the run touches.
 pub(crate) fn apply_pool(cfg: &TrainConfig) {
     gandef_tensor::pool::configure_threads(cfg.pool_threads);
+    if let Some(mode) = cfg.accum {
+        gandef_tensor::accum::set_accum(mode);
+    }
 }
 
 #[cfg(test)]

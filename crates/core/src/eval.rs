@@ -41,12 +41,21 @@ pub fn extended_attacks(budget: &AttackBudget) -> Vec<Box<dyn Attack>> {
     ]
 }
 
+/// Domain-separation tag for [`evaluate`]'s per-attack RNG streams.
+const EVAL_STREAM_TAG: u64 = 0x4556_414C; // "EVAL"
+
 /// Test accuracy (§IV-E) of `net` on clean inputs and on each attack's
 /// adversarial counterparts. Returns `(example_name, accuracy)` pairs,
 /// starting with `"Original"`.
 ///
 /// Every original example gets "its own corresponding adversarial
 /// counterparts" (§IV-C): attacks run white-box against `net` itself.
+///
+/// Each attack draws from its own stream, derived by index from a single
+/// fork taken at entry — so an attack's randomness depends only on the
+/// incoming `rng` state and its position, never on how many draws earlier
+/// attacks consumed, and the caller's `rng` advances by exactly one draw
+/// regardless of the attack list.
 pub fn evaluate(
     net: &Net,
     attacks: &[Box<dyn Attack>],
@@ -56,8 +65,10 @@ pub fn evaluate(
 ) -> Vec<(String, f32)> {
     let mut out = Vec::with_capacity(attacks.len() + 1);
     out.push(("Original".to_string(), accuracy(&net.predict(x), labels)));
-    for attack in attacks {
-        let adv = perturb_chunked(attack.as_ref(), net, x, labels, EVAL_CHUNK, rng);
+    let root = rng.fork(EVAL_STREAM_TAG);
+    for (idx, attack) in attacks.iter().enumerate() {
+        let mut attack_rng = root.clone().fork(idx as u64);
+        let adv = perturb_chunked(attack.as_ref(), net, x, labels, EVAL_CHUNK, &mut attack_rng);
         out.push((
             attack.name().to_string(),
             accuracy(&net.predict(&adv), labels),
@@ -94,8 +105,19 @@ impl AccuracyGrid {
         AccuracyGrid::default()
     }
 
-    /// Records one measurement.
+    /// Records one measurement. Re-recording an existing
+    /// `(defense, dataset, example)` cell overwrites it in place (keeping
+    /// its original position), so re-running an evaluation updates the grid
+    /// instead of leaving a stale duplicate behind `get`'s first-match.
     pub fn record(&mut self, defense: &str, dataset: &str, example: &str, accuracy: f32) {
+        if let Some(cell) = self
+            .cells
+            .iter_mut()
+            .find(|c| c.defense == defense && c.dataset == dataset && c.example == example)
+        {
+            cell.accuracy = accuracy;
+            return;
+        }
         self.cells.push(Cell {
             defense: defense.to_string(),
             dataset: dataset.to_string(),
@@ -345,6 +367,63 @@ mod tests {
         assert_eq!(m.accuracy(), 1.0);
         assert_eq!(m.worst_confusion(), None);
         assert_eq!(m.classes(), 3);
+    }
+
+    #[test]
+    fn evaluate_attack_streams_are_decoupled() {
+        let ds = generate(
+            DatasetKind::SynthDigits,
+            &GenSpec {
+                train: 10,
+                test: 8,
+                seed: 1,
+            },
+        );
+        let mut rng = Prng::new(0);
+        let net = Net::new(zoo::mlp(28 * 28, 16, 10), &mut rng);
+        let b = AttackBudget::for_28x28();
+        let pgd = || -> Box<dyn Attack> { Box::new(Pgd::new(b.eps, b.pgd_step, 5)) };
+
+        // PGD at position 1 must see the same stream whether position 0 is
+        // held by an RNG-free attack (FGSM) or an RNG-hungry one (PGD): 8
+        // test rows < EVAL_CHUNK, so the old code handed PGD whatever state
+        // the previous attack left behind.
+        let run = |first: Box<dyn Attack>| {
+            let attacks = vec![first, pgd()];
+            let mut r = Prng::new(7);
+            evaluate(&net, &attacks, &ds.test_x, &ds.test_y, &mut r)
+        };
+        let with_fgsm = run(Box::new(Fgsm::new(b.eps)));
+        let with_pgd = run(pgd());
+        assert_eq!(
+            with_fgsm[2].1, with_pgd[2].1,
+            "position-1 attack must not depend on position-0 draws"
+        );
+
+        // The caller's rng advances identically no matter which attacks
+        // ran (exactly one fork), so downstream draws stay reproducible
+        // when the attack set changes.
+        let mut r1 = Prng::new(9);
+        let attacks1: Vec<Box<dyn Attack>> = vec![Box::new(Fgsm::new(b.eps))];
+        evaluate(&net, &attacks1, &ds.test_x, &ds.test_y, &mut r1);
+        let mut r2 = Prng::new(9);
+        let attacks2: Vec<Box<dyn Attack>> = vec![pgd(), pgd(), pgd()];
+        evaluate(&net, &attacks2, &ds.test_x, &ds.test_y, &mut r2);
+        assert_eq!(r1.next_u64(), r2.next_u64());
+    }
+
+    #[test]
+    fn grid_record_overwrites_existing_cell() {
+        let mut g = AccuracyGrid::new();
+        g.record("Vanilla", "D", "Original", 0.5);
+        g.record("Vanilla", "D", "FGSM", 0.2);
+        // Re-recording updates in place: same position, new value, no
+        // duplicate row in the CSV.
+        g.record("Vanilla", "D", "Original", 0.9);
+        assert_eq!(g.get("Vanilla", "D", "Original"), Some(0.9));
+        assert_eq!(g.cells().len(), 2);
+        assert_eq!(g.cells()[0].example, "Original", "position preserved");
+        assert_eq!(g.to_csv().lines().count(), 1 + 2);
     }
 
     #[test]

@@ -27,12 +27,22 @@ fn grid_roundtrips_arbitrary_cells() {
         for &(d, s, e, acc) in &cells {
             grid.record(defenses[d], datasets[s], examples[e], acc);
         }
-        // The *first* recorded accuracy per key wins in `get` (duplicates
-        // are appended but lookup is first-match).
-        let (d, s, e, acc) = cells[0];
-        assert_eq!(grid.get(defenses[d], datasets[s], examples[e]), Some(acc));
-        // CSV row count = cells + header.
-        assert_eq!(grid.to_csv().lines().count(), cells.len() + 1);
+        // The *last* recorded accuracy per key wins: `record` overwrites
+        // duplicates in place.
+        for &(d, s, e, _) in &cells {
+            let last = cells
+                .iter()
+                .rev()
+                .find(|&&(d2, s2, e2, _)| (d2, s2, e2) == (d, s, e))
+                .map(|&(_, _, _, acc)| acc);
+            assert_eq!(grid.get(defenses[d], datasets[s], examples[e]), last);
+        }
+        // CSV row count = distinct keys + header (duplicates collapse).
+        let mut keys: Vec<(usize, usize, usize)> =
+            cells.iter().map(|&(d, s, e, _)| (d, s, e)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(grid.to_csv().lines().count(), keys.len() + 1);
         // Markdown contains every dataset section.
         let md = grid.to_markdown(&examples);
         for name in grid.datasets() {

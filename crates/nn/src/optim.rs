@@ -5,6 +5,7 @@
 //! alternating GAN update keeps its momentum/Adam state untouched).
 
 use crate::params::Params;
+use gandef_tensor::accum::{accum, Accum};
 use gandef_tensor::Tensor;
 
 /// A first-order parameter-update rule.
@@ -125,19 +126,33 @@ impl Optimizer for Adam {
         self.m.resize(params.len(), None);
         self.v.resize(params.len(), None);
         self.t += 1;
+        let mode = accum();
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        // Bias corrections in f64 for the f64 mode — `1 − β₂ᵗ` underflows
+        // f32 noticeably for small t.
+        let bc1_64 = 1.0 - (self.beta1 as f64).powi(self.t as i32);
+        let bc2_64 = 1.0 - (self.beta2 as f64).powi(self.t as i32);
         for (i, g) in grads.iter().enumerate() {
             let Some(g) = g else { continue };
             let m = self.m[i].get_or_insert_with(|| Tensor::zeros(g.shape().dims()));
             let v = self.v[i].get_or_insert_with(|| Tensor::zeros(g.shape().dims()));
             *m = m.scale(self.beta1).add(&g.scale(1.0 - self.beta1));
             *v = v.scale(self.beta2).add(&g.square().scale(1.0 - self.beta2));
-            let update = Tensor::from_fn(g.shape().dims(), |j| {
-                let mh = m.as_slice()[j] / bc1;
-                let vh = v.as_slice()[j] / bc2;
-                mh / (vh.sqrt() + self.eps)
-            });
+            let update = match mode {
+                Accum::F32 => Tensor::from_fn(g.shape().dims(), |j| {
+                    let mh = m.as_slice()[j] / bc1;
+                    let vh = v.as_slice()[j] / bc2;
+                    mh / (vh.sqrt() + self.eps)
+                }),
+                // The rescale/sqrt/divide chain runs in f64 with a single
+                // rounding per element.
+                Accum::F64 => Tensor::from_fn(g.shape().dims(), |j| {
+                    let mh = m.as_slice()[j] as f64 / bc1_64;
+                    let vh = v.as_slice()[j] as f64 / bc2_64;
+                    (mh / (vh.sqrt() + self.eps as f64)) as f32
+                }),
+            };
             params.value_at_mut(i).axpy(-self.lr, &update);
         }
     }

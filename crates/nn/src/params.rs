@@ -1,6 +1,7 @@
 //! Named parameter storage and its per-pass binding onto an autodiff tape.
 
 use gandef_autodiff::{Gradients, Tape, VarId};
+use gandef_tensor::accum::{self, Accum};
 use gandef_tensor::rng::Prng;
 use gandef_tensor::Tensor;
 use std::collections::HashMap;
@@ -169,6 +170,11 @@ pub struct Session {
     pub mode: Mode,
     /// RNG for stochastic layers (dropout masks).
     pub rng: Prng,
+    /// Accumulation precision in effect when the session was created.
+    /// Kernels sample the mode themselves on each call; this field records
+    /// what a pass ran under, so checkpoints/reports can attribute results
+    /// to a numerics mode.
+    pub accum: Accum,
     stores: Vec<StoreBinding>,
 }
 
@@ -194,6 +200,7 @@ impl Session {
             tape,
             mode,
             rng,
+            accum: accum::accum(),
             stores: bindings,
         }
     }
@@ -246,8 +253,9 @@ impl fmt::Debug for Session {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "Session({:?}, {} stores, {} tape nodes)",
+            "Session({:?}, {:?}, {} stores, {} tape nodes)",
             self.mode,
+            self.accum,
             self.stores.len(),
             self.tape.len()
         )

@@ -63,27 +63,38 @@ impl From<std::io::Error> for CheckpointError {
 ///
 /// # Errors
 ///
-/// Returns [`CheckpointError::Io`] on filesystem failures.
+/// Returns [`CheckpointError::Io`] on filesystem failures, and
+/// [`CheckpointError::Format`] if any field (entry count, name length,
+/// rank, a dimension, or element count) exceeds the format's `u32` range —
+/// a silently truncated cast would write a structurally valid-looking file
+/// the loader then rejects, or worse, misparses.
 pub fn save_params(params: &Params, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
     let mut w = BufWriter::new(File::create(path)?);
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
-    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    w.write_all(&to_u32(params.len(), "entry count")?.to_le_bytes())?;
     for (name, tensor) in params.iter() {
-        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(&to_u32(name.len(), "name length")?.to_le_bytes())?;
         w.write_all(name.as_bytes())?;
         let dims = tensor.shape().dims();
-        w.write_all(&(dims.len() as u32).to_le_bytes())?;
+        w.write_all(&to_u32(dims.len(), "rank")?.to_le_bytes())?;
         for &d in dims {
-            w.write_all(&(d as u32).to_le_bytes())?;
+            w.write_all(&to_u32(d, "dimension")?.to_le_bytes())?;
         }
-        w.write_all(&(tensor.numel() as u32).to_le_bytes())?;
+        w.write_all(&to_u32(tensor.numel(), "element count")?.to_le_bytes())?;
         for &v in tensor.as_slice() {
             w.write_all(&v.to_le_bytes())?;
         }
     }
     w.flush()?;
     Ok(())
+}
+
+/// Checked narrowing for GNDF header fields.
+fn to_u32(v: usize, what: &str) -> Result<u32, CheckpointError> {
+    u32::try_from(v).map_err(|_| {
+        CheckpointError::Format(format!("{what} {v} exceeds the GNDF u32 field range"))
+    })
 }
 
 /// Reads a GNDF checkpoint into a fresh [`Params`] store.
@@ -245,6 +256,24 @@ mod tests {
         let err = restore_params(&mut other, &path).unwrap_err();
         assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn header_fields_beyond_u32_are_format_errors() {
+        // Every header field save_params writes goes through to_u32; a
+        // tensor with a > u32::MAX dimension cannot be built cheaply (Shape
+        // rejects zero-sized dims, and 2^32 real elements is 16 GiB), so
+        // the boundary is checked on the helper itself. The old code's
+        // `as u32` silently truncated: 2^33 became 0.
+        assert_eq!(to_u32(u32::MAX as usize, "dimension").unwrap(), u32::MAX);
+        let err = to_u32(1usize << 33, "dimension").unwrap_err();
+        assert!(
+            matches!(&err, CheckpointError::Format(m) if m.contains("dimension")),
+            "{err}"
+        );
+        let err = to_u32(u32::MAX as usize + 1, "element count").unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)), "{err}");
     }
 
     #[test]

@@ -316,18 +316,32 @@ pub fn maxpool2d_backward(grad_out: &Tensor, indices: &[usize], input_dims: &[us
 
 /// Global average pooling: `[N, C, H, W] → [N, C]`.
 ///
+/// Under [`crate::accum::Accum::F64`] each plane sum and the division run
+/// in `f64` before the single rounding to `f32`.
+///
 /// # Panics
 ///
 /// Panics unless `input` is rank 4.
 pub fn global_avg_pool(input: &Tensor) -> Tensor {
     assert_eq!(input.rank(), 4, "global_avg_pool expects [N, C, H, W]");
     let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
-    let inv = 1.0 / (h * w) as f32;
     let src = input.as_slice();
     let mut out = vec![0.0f32; n * c];
-    for bc in 0..n * c {
-        let plane = &src[bc * h * w..(bc + 1) * h * w];
-        out[bc] = plane.iter().sum::<f32>() * inv;
+    match crate::accum::accum() {
+        crate::accum::Accum::F32 => {
+            let inv = 1.0 / (h * w) as f32;
+            for (bc, o) in out.iter_mut().enumerate() {
+                let plane = &src[bc * h * w..(bc + 1) * h * w];
+                *o = plane.iter().sum::<f32>() * inv;
+            }
+        }
+        crate::accum::Accum::F64 => {
+            let inv = 1.0 / (h * w) as f64;
+            for (bc, o) in out.iter_mut().enumerate() {
+                let plane = &src[bc * h * w..(bc + 1) * h * w];
+                *o = (plane.iter().map(|&v| v as f64).sum::<f64>() * inv) as f32;
+            }
+        }
     }
     Tensor::from_vec(vec![n, c], out)
 }

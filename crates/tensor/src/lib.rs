@@ -37,6 +37,7 @@
 mod shape;
 mod tensor;
 
+pub mod accum;
 pub mod check;
 pub mod conv;
 pub mod linalg;

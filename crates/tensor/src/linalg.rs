@@ -21,7 +21,15 @@
 //!   Each output element is produced by exactly one task with a fixed
 //!   reduction order, so results are bit-identical for any pool size
 //!   (verified against [`crate::pool::with_serial`] in the tests).
+//! * Under [`crate::accum::Accum::F64`] every kernel switches to
+//!   `f32 in → f64 acc → f32 out` variants that carry one exactly-rounded
+//!   `f64` chain per output element across *all* depth blocks (no
+//!   intermediate `f32` rounding between `KC` blocks, no FMA in either the
+//!   portable or the AVX2 path), so the result equals the naive
+//!   `k`-ordered `f64` dot product bit-for-bit — independent of tiling,
+//!   thread count and `GANDEF_NO_FMA`.
 
+use crate::accum::{self, Accum};
 use crate::pool;
 use crate::Tensor;
 
@@ -189,39 +197,42 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 /// Core blocked GEMM: `out[m × n] += opA[m × k] · opB[k × n]` with `out`
-/// starting zeroed.
+/// starting zeroed. Samples the accumulation mode once on the calling
+/// thread (so [`crate::accum::with_accum`] covers pooled execution) and
+/// dispatches to the `f32`- or `f64`-accumulating kernel set.
 fn gemm(m: usize, k: usize, n: usize, a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32]) {
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    let mode = accum::accum();
     let work = m * k * n;
     if work <= TINY_THRESHOLD {
-        gemm_tiny(m, k, n, a, b, out);
+        match mode {
+            Accum::F32 => gemm_tiny(m, k, n, a, b, out),
+            Accum::F64 => gemm_tiny_f64(m, k, n, a, b, out),
+        }
         return;
     }
     let packed_b = pack_b(k, n, b);
     let np = n.div_ceil(NR);
-    let body = |row0: usize, c_chunk: &mut [f32]| {
-        let rows = c_chunk.len() / n;
-        let mut pa = vec![0.0f32; MC.div_ceil(MR) * MR * KC];
-        for kb in (0..k).step_by(KC) {
-            let kc = KC.min(k - kb);
-            let b_base = kb * np * NR;
-            for i0 in (0..rows).step_by(MC) {
-                let mc = MC.min(rows - i0);
-                pack_a(&mut pa, a, row0 + i0, mc, kb, kc);
-                for jp in 0..np {
-                    let j0 = jp * NR;
-                    let nr = NR.min(n - j0);
-                    let bp = &packed_b[b_base + jp * kc * NR..b_base + (jp + 1) * kc * NR];
-                    let mut ip = 0;
-                    while ip * MR < mc {
-                        let mr = MR.min(mc - ip * MR);
-                        let ap = &pa[ip * kc * MR..(ip + 1) * kc * MR];
-                        microkernel(kc, ap, bp, c_chunk, i0 + ip * MR, j0, n, mr, nr);
-                        ip += 1;
-                    }
+    let body = |row0: usize, c_chunk: &mut [f32]| match mode {
+        Accum::F32 => {
+            for_each_tile(k, n, np, c_chunk.len() / n, a, &packed_b, row0, {
+                |kc, ap, bp, r0, c0, mr, nr| microkernel(kc, ap, bp, c_chunk, r0, c0, n, mr, nr)
+            });
+        }
+        Accum::F64 => {
+            // One f64 accumulator per output element, carried across every
+            // KC block — converting to f32 only once, at the very end, is
+            // what makes the result equal the naive k-ordered f64 chain.
+            let mut acc: Vec<f64> = c_chunk.iter().map(|&x| x as f64).collect();
+            for_each_tile(k, n, np, c_chunk.len() / n, a, &packed_b, row0, {
+                |kc, ap, bp, r0, c0, mr, nr| {
+                    microkernel_f64(kc, ap, bp, &mut acc, r0, c0, n, mr, nr)
                 }
+            });
+            for (o, v) in c_chunk.iter_mut().zip(acc) {
+                *o = v as f32;
             }
         }
     };
@@ -229,6 +240,45 @@ fn gemm(m: usize, k: usize, n: usize, a: MatRef<'_>, b: MatRef<'_>, out: &mut [f
         body(0, out);
     } else {
         pool::parallel_for_mut(out, n, MR, body);
+    }
+}
+
+/// Shared blocking loop: walks `KC` depth blocks × `MC` row blocks × `NR`
+/// column panels of one row-chunk of C, packing A as it goes, and hands
+/// each `MR`-row tile to `tile(kc, ap, bp, row, col, mr, nr)`. The tile
+/// visit order fixes the per-element reduction order, so both
+/// accumulation modes inherit pool-size invariance from this one loop.
+#[allow(clippy::too_many_arguments)]
+fn for_each_tile(
+    k: usize,
+    n: usize,
+    np: usize,
+    rows: usize,
+    a: MatRef<'_>,
+    packed_b: &[f32],
+    row0: usize,
+    mut tile: impl FnMut(usize, &[f32], &[f32], usize, usize, usize, usize),
+) {
+    let mut pa = vec![0.0f32; MC.div_ceil(MR) * MR * KC];
+    for kb in (0..k).step_by(KC) {
+        let kc = KC.min(k - kb);
+        let b_base = kb * np * NR;
+        for i0 in (0..rows).step_by(MC) {
+            let mc = MC.min(rows - i0);
+            pack_a(&mut pa, a, row0 + i0, mc, kb, kc);
+            for jp in 0..np {
+                let j0 = jp * NR;
+                let nr = NR.min(n - j0);
+                let bp = &packed_b[b_base + jp * kc * NR..b_base + (jp + 1) * kc * NR];
+                let mut ip = 0;
+                while ip * MR < mc {
+                    let mr = MR.min(mc - ip * MR);
+                    let ap = &pa[ip * kc * MR..(ip + 1) * kc * MR];
+                    tile(kc, ap, bp, i0 + ip * MR, j0, mr, nr);
+                    ip += 1;
+                }
+            }
+        }
     }
 }
 
@@ -426,6 +476,154 @@ fn gemm_tiny(m: usize, k: usize, n: usize, a: MatRef<'_>, b: MatRef<'_>, out: &m
     }
 }
 
+/// `f64`-accumulating microkernel dispatch. Both variants compute the
+/// identical exactly-rounded chain — products of two `f32`-derived `f64`s
+/// are exact (≤ 48 mantissa bits), additions happen in the same `k` order,
+/// and neither uses FMA — so AVX2 vs portable is bit-identical and the
+/// dispatch gate (shared with the f32 path) cannot affect results.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn microkernel_f64(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    acc: &mut [f64],
+    row0: usize,
+    col0: usize,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if fma_available() {
+        // SAFETY: `fma_available` verified avx2 support at runtime (the
+        // kernel itself uses no FMA instructions).
+        unsafe { microkernel_f64_avx2(kc, ap, bp, acc, row0, col0, ldc, mr, nr) };
+        return;
+    }
+    microkernel_f64_generic(kc, ap, bp, acc, row0, col0, ldc, mr, nr);
+}
+
+/// Portable `f64` microkernel. The tile is *loaded from* the running `f64`
+/// accumulator (not zeroed), updated over `kc` depth steps, and stored
+/// back — so the per-element chain spans every `KC` block sequentially:
+/// exactly the naive `k`-ordered `f64` dot product.
+#[allow(clippy::too_many_arguments)]
+fn microkernel_f64_generic(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    acc: &mut [f64],
+    row0: usize,
+    col0: usize,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut tile = [[0.0f64; NR]; MR];
+    for (i, row) in tile.iter_mut().enumerate().take(mr) {
+        let arow = &acc[(row0 + i) * ldc + col0..(row0 + i) * ldc + col0 + nr];
+        row[..nr].copy_from_slice(arow);
+    }
+    for (av, bv) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
+        let av: [f32; MR] = av.try_into().unwrap();
+        let bv: [f32; NR] = bv.try_into().unwrap();
+        for i in 0..MR {
+            for j in 0..NR {
+                tile[i][j] += av[i] as f64 * bv[j] as f64;
+            }
+        }
+    }
+    for (i, row) in tile.iter().enumerate().take(mr) {
+        let arow = &mut acc[(row0 + i) * ldc + col0..(row0 + i) * ldc + col0 + nr];
+        arow.copy_from_slice(&row[..nr]);
+    }
+}
+
+/// AVX2 `f64` microkernel: `_mm256_cvtps_pd` widens the packed `f32`
+/// panels, then plain `mul_pd + add_pd` (deliberately no `fmadd`) updates
+/// four 4-wide accumulators per row in the same order as the portable
+/// kernel — both ops are exactly rounded per lane, so the two kernels are
+/// bit-identical and `GANDEF_NO_FMA` cannot change f64-mode results.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn microkernel_f64_avx2(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    acc: &mut [f64],
+    row0: usize,
+    col0: usize,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+    let mut tmp = [0.0f64; MR * NR];
+    for i in 0..mr {
+        let arow = &acc[(row0 + i) * ldc + col0..(row0 + i) * ldc + col0 + nr];
+        tmp[i * NR..i * NR + nr].copy_from_slice(arow);
+    }
+    let mut tile = [[_mm256_setzero_pd(); NR / 4]; MR];
+    for (i, row) in tile.iter_mut().enumerate() {
+        for (v, vec) in row.iter_mut().enumerate() {
+            *vec = _mm256_loadu_pd(tmp.as_ptr().add(i * NR + v * 4));
+        }
+    }
+    let mut app = ap.as_ptr();
+    let mut bpp = bp.as_ptr();
+    for _ in 0..kc {
+        let blo = _mm256_loadu_ps(bpp);
+        let bhi = _mm256_loadu_ps(bpp.add(8));
+        let b = [
+            _mm256_cvtps_pd(_mm256_castps256_ps128(blo)),
+            _mm256_cvtps_pd(_mm256_extractf128_ps(blo, 1)),
+            _mm256_cvtps_pd(_mm256_castps256_ps128(bhi)),
+            _mm256_cvtps_pd(_mm256_extractf128_ps(bhi, 1)),
+        ];
+        for (i, row) in tile.iter_mut().enumerate() {
+            let av = _mm256_set1_pd(*app.add(i) as f64);
+            for (vec, bv) in row.iter_mut().zip(b) {
+                *vec = _mm256_add_pd(*vec, _mm256_mul_pd(av, bv));
+            }
+        }
+        app = app.add(MR);
+        bpp = bpp.add(NR);
+    }
+    for (i, row) in tile.iter().enumerate() {
+        for (v, vec) in row.iter().enumerate() {
+            _mm256_storeu_pd(tmp.as_mut_ptr().add(i * NR + v * 4), *vec);
+        }
+    }
+    for i in 0..mr {
+        let arow = &mut acc[(row0 + i) * ldc + col0..(row0 + i) * ldc + col0 + nr];
+        arow.copy_from_slice(&tmp[i * NR..i * NR + nr]);
+    }
+}
+
+/// `f64`-accumulating tiny-GEMM: one `f64` row buffer accumulated in pure
+/// `k` order, matching the packed path's per-element chain exactly.
+fn gemm_tiny_f64(m: usize, k: usize, n: usize, a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32]) {
+    let mut row = vec![0.0f64; n];
+    for i in 0..m {
+        let crow = &mut out[i * n..(i + 1) * n];
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = crow[j] as f64;
+        }
+        for kk in 0..k {
+            let av = a.at(i, kk) as f64;
+            for (j, cv) in row.iter_mut().enumerate() {
+                *cv += av * b.at(kk, j) as f64;
+            }
+        }
+        for (j, cv) in crow.iter_mut().enumerate() {
+            *cv = row[j] as f32;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -559,6 +757,126 @@ mod tests {
     #[should_panic(expected = "inner dimensions disagree")]
     fn mismatched_inner_dims_panic() {
         matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+
+    /// The F64-mode invariant: every element is the naive `k`-ordered
+    /// `f64` dot product rounded once to `f32`, regardless of path.
+    fn naive_matmul_f64(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k, n) = (a.dim(0), a.dim(1), b.dim(1));
+        Tensor::from_fn(&[m, n], |idx| {
+            let (i, j) = (idx / n, idx % n);
+            (0..k)
+                .map(|kk| a.at(&[i, kk]) as f64 * b.at(&[kk, j]) as f64)
+                .sum::<f64>() as f32
+        })
+    }
+
+    #[test]
+    fn f64_mode_equals_naive_f64_oracle_bitwise() {
+        use crate::accum::{with_accum, Accum};
+        // Tiny path (2·3·4 = 24 ≤ TINY_THRESHOLD)...
+        let a = pseudo(&[2, 3], 12);
+        let b = pseudo(&[3, 4], 13);
+        let got = with_accum(Accum::F64, || matmul(&a, &b));
+        assert_eq!(got.as_slice(), naive_matmul_f64(&a, &b).as_slice());
+
+        // ...packed serial path with ragged tiles and multiple KC blocks
+        // (k = 300 > KC)...
+        let a = pseudo(&[37, 300], 14);
+        let b = pseudo(&[300, 45], 15);
+        let got = with_accum(Accum::F64, || matmul(&a, &b));
+        assert_eq!(got.as_slice(), naive_matmul_f64(&a, &b).as_slice());
+
+        // ...and the pooled path (128³ = 2²¹ ≥ PARALLEL_THRESHOLD).
+        let a = pseudo(&[128, 128], 16);
+        let b = pseudo(&[128, 128], 17);
+        let got = with_accum(Accum::F64, || matmul(&a, &b));
+        assert_eq!(got.as_slice(), naive_matmul_f64(&a, &b).as_slice());
+    }
+
+    #[test]
+    fn f64_mode_transposed_variants_match_oracle_bitwise() {
+        use crate::accum::{with_accum, Accum};
+        let at = pseudo(&[300, 37], 18); // [K, M]
+        let b = pseudo(&[300, 45], 19); // [K, N]
+        let got = with_accum(Accum::F64, || matmul_tn(&at, &b));
+        assert_eq!(
+            got.as_slice(),
+            naive_matmul_f64(&at.transpose2d(), &b).as_slice()
+        );
+
+        let a = pseudo(&[37, 300], 20); // [M, K]
+        let bt = pseudo(&[45, 300], 21); // [N, K]
+        let got = with_accum(Accum::F64, || matmul_nt(&a, &bt));
+        assert_eq!(
+            got.as_slice(),
+            naive_matmul_f64(&a, &bt.transpose2d()).as_slice()
+        );
+    }
+
+    #[test]
+    fn f64_mode_pooled_and_serial_agree_bitwise() {
+        use crate::accum::{with_accum, Accum};
+        let a = pseudo(&[130, 270], 22);
+        let b = pseudo(&[270, 90], 23);
+        let pooled = with_accum(Accum::F64, || matmul(&a, &b));
+        let serial = crate::pool::with_serial(|| with_accum(Accum::F64, || matmul(&a, &b)));
+        assert_eq!(pooled.as_slice(), serial.as_slice());
+    }
+
+    #[test]
+    fn f64_microkernel_avx2_and_portable_are_bitwise_identical() {
+        // Direct panel-level check, independent of the dispatch gate: pack
+        // real operands, run both f64 microkernels on every tile, compare
+        // the accumulators bit-for-bit.
+        #[cfg(target_arch = "x86_64")]
+        if std::is_x86_feature_detected!("avx2") {
+            let (m, k, n) = (9, 70, 21);
+            let a_t = pseudo(&[m, k], 24);
+            let b_t = pseudo(&[k, n], 25);
+            let a = MatRef {
+                data: a_t.as_slice(),
+                rs: k,
+                cs: 1,
+            };
+            let b = MatRef {
+                data: b_t.as_slice(),
+                rs: n,
+                cs: 1,
+            };
+            let packed_b = pack_b(k, n, b);
+            let np = n.div_ceil(NR);
+            let mut acc_gen = vec![0.0f64; m * n];
+            let mut acc_avx = vec![0.0f64; m * n];
+            for_each_tile(
+                k,
+                n,
+                np,
+                m,
+                a,
+                &packed_b,
+                0,
+                |kc, ap, bp, r0, c0, mr, nr| {
+                    microkernel_f64_generic(kc, ap, bp, &mut acc_gen, r0, c0, n, mr, nr);
+                    // SAFETY: avx2 presence checked above.
+                    unsafe { microkernel_f64_avx2(kc, ap, bp, &mut acc_avx, r0, c0, n, mr, nr) };
+                },
+            );
+            assert_eq!(acc_gen, acc_avx);
+        }
+    }
+
+    #[test]
+    fn f32_mode_unaffected_by_f64_additions() {
+        use crate::accum::{with_accum, Accum};
+        let a = pseudo(&[60, 60], 26);
+        let b = pseudo(&[60, 60], 27);
+        // The forced-F32 kernel still matches the f32 oracle, and the two
+        // modes agree to f32 tolerance — F64 only changes rounding.
+        let forced_f32 = with_accum(Accum::F32, || matmul(&a, &b));
+        assert!(forced_f32.allclose(&naive_matmul(&a, &b), 1e-3));
+        let f64_mode = with_accum(Accum::F64, || matmul(&a, &b));
+        assert!(forced_f32.allclose(&f64_mode, 1e-4));
     }
 
     #[test]

@@ -75,15 +75,31 @@ impl Prng {
         lo + (hi - lo) * self.uniform()
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)`, exactly unbiased.
+    ///
+    /// Uses rejection sampling: draws whose `% n` residue falls in the
+    /// truncated final window of the `u64` range are discarded, so every
+    /// value in `[0, n)` has identical probability. (Plain `next_u64() % n`
+    /// skews toward low values — tiny for small `n`, but `shuffle`,
+    /// `permutation` and batch sampling compound draws, and the bias-free
+    /// version costs one compare on the non-rejected path.)
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is undefined");
-        // Modulo bias is negligible for the small n used here (< 2^32).
-        (self.next_u64() % n as u64) as usize
+        let n64 = n as u64;
+        // Largest multiple of n that fits: values past `limit` would make
+        // the residues 0..(u64::MAX % n) one count more likely.
+        let rem = (u64::MAX % n64 + 1) % n64;
+        let limit = u64::MAX - rem;
+        loop {
+            let v = self.next_u64();
+            if v <= limit {
+                return (v % n64) as usize;
+            }
+        }
     }
 
     /// Standard normal sample via the Box–Muller transform.
@@ -191,6 +207,42 @@ mod tests {
             seen[rng.below(10)] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn below_is_uniform_chi_square() {
+        // Pearson χ² over n = 7 buckets (7 doesn't divide 2⁶⁴, so the old
+        // `% n` path was biased). With 70_000 draws and 6 degrees of
+        // freedom, χ² < 22.5 holds with overwhelming probability for a
+        // uniform source (p ≈ 0.999); the fixed seed makes this exact.
+        let mut rng = Prng::new(11);
+        let n = 7usize;
+        let draws = 70_000usize;
+        let mut counts = vec![0usize; n];
+        for _ in 0..draws {
+            counts[rng.below(n)] += 1;
+        }
+        let expected = draws as f64 / n as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        assert!(chi2 < 22.5, "χ² = {chi2}, counts {counts:?}");
+    }
+
+    #[test]
+    fn below_rejection_path_stays_in_range() {
+        // n just above 2⁶³ rejects ~half of all raw draws, so this
+        // actually exercises the rejection loop (unlike small n, where
+        // rejection probability is ~n/2⁶⁴).
+        let n = (1usize << 63) + 1;
+        let mut rng = Prng::new(12);
+        for _ in 0..64 {
+            assert!(rng.below(n) < n);
+        }
     }
 
     #[test]

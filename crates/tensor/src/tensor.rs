@@ -505,6 +505,10 @@ impl Tensor {
 
     /// Sums along `axis`, removing that dimension.
     ///
+    /// Under [`crate::accum::Accum::F64`] the per-output partials are kept
+    /// in `f64` and rounded to `f32` once at the end (`sum` over the full
+    /// tensor already does this unconditionally).
+    ///
     /// # Panics
     ///
     /// Panics if `axis >= rank()`.
@@ -522,12 +526,31 @@ impl Tensor {
             Shape::new(out_dims)
         };
         let mut data = vec![0.0f32; outer * inner];
-        for o in 0..outer {
-            for m in 0..mid {
-                let base = (o * mid + m) * inner;
-                let out_base = o * inner;
-                for i in 0..inner {
-                    data[out_base + i] += self.data[base + i];
+        match crate::accum::accum() {
+            crate::accum::Accum::F32 => {
+                for o in 0..outer {
+                    for m in 0..mid {
+                        let base = (o * mid + m) * inner;
+                        let out_base = o * inner;
+                        for i in 0..inner {
+                            data[out_base + i] += self.data[base + i];
+                        }
+                    }
+                }
+            }
+            crate::accum::Accum::F64 => {
+                let mut acc = vec![0.0f64; outer * inner];
+                for o in 0..outer {
+                    for m in 0..mid {
+                        let base = (o * mid + m) * inner;
+                        let out_base = o * inner;
+                        for i in 0..inner {
+                            acc[out_base + i] += self.data[base + i] as f64;
+                        }
+                    }
+                }
+                for (d, v) in data.iter_mut().zip(acc) {
+                    *d = v as f32;
                 }
             }
         }

@@ -3,9 +3,12 @@
 #
 #   scripts/ci.sh
 #
-# Steps: format check, release build, full test suite, and a smoke run of
-# the kernel micro-benchmarks (writes BENCH_smoke.json to a temp dir so
-# the checked-in BENCH_tensor.json is never clobbered by a smoke run).
+# Steps: format check, release build, full test suite, a smoke run of the
+# kernel micro-benchmarks gated against the checked-in BENCH_tensor.json
+# (bench_diff; writes BENCH_smoke.json to a temp dir so the checked-in
+# file is never clobbered), and the numerics audit: the f64-accumulation
+# kernel oracle must be byte-identical across thread counts and FMA
+# settings, and the f64 training trajectory must be reproducible.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,9 +25,27 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> bench_kernels --smoke"
+echo "==> bench_kernels --smoke + bench_diff"
 out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
 ./target/release/bench_kernels --smoke --out "$out/BENCH_smoke.json"
-rm -rf "$out"
+# Throughput gate: generous 0.3x threshold (see DESIGN.md "Benchmark
+# gate") — catches a kernel silently falling back to a naive path.
+./target/release/bench_diff --baseline BENCH_tensor.json --fresh "$out/BENCH_smoke.json"
+
+echo "==> numerics audit: f64 oracle invariance"
+# Under GANDEF_ACCUM=f64 the kernel fingerprints must not depend on the
+# worker-pool size or FMA availability.
+GANDEF_ACCUM=f64 GANDEF_THREADS=1 ./target/release/numerics_audit --oracle >"$out/oracle_t1.txt"
+GANDEF_ACCUM=f64 GANDEF_THREADS=8 ./target/release/numerics_audit --oracle >"$out/oracle_t8.txt"
+GANDEF_ACCUM=f64 GANDEF_THREADS=8 GANDEF_NO_FMA=1 ./target/release/numerics_audit --oracle >"$out/oracle_t8_nofma.txt"
+GANDEF_ACCUM=f64 GANDEF_THREADS=1 GANDEF_NO_FMA=1 ./target/release/numerics_audit --oracle >"$out/oracle_t1_nofma.txt"
+diff "$out/oracle_t1.txt" "$out/oracle_t8.txt"
+diff "$out/oracle_t1.txt" "$out/oracle_t8_nofma.txt"
+diff "$out/oracle_t1.txt" "$out/oracle_t1_nofma.txt"
+cat "$out/oracle_t1.txt"
+
+echo "==> numerics audit: trajectory divergence + f64 reproducibility"
+./target/release/numerics_audit
 
 echo "CI OK"
