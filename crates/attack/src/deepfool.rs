@@ -99,7 +99,11 @@ impl Attack for DeepFool {
                         best = Some((ratio, w, f));
                     }
                 }
-                let (_, w, f) = best.expect("at least one competing class");
+                let Some((_, w, f)) = best else {
+                    // Single-class models have no boundary to cross; leave
+                    // this sample's delta at zero.
+                    continue;
+                };
                 let norm_sq = w.iter().map(|v| v * v).sum::<f32>().max(1e-12);
                 let scale = (f.abs() + 1e-4) / norm_sq * (1.0 + self.overshoot);
                 let d = delta.as_mut_slice();

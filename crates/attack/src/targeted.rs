@@ -72,9 +72,13 @@ impl TargetedPgd {
                 let z = model.logits(x);
                 (0..labels.len())
                     .map(|i| {
-                        (0..classes)
-                            .min_by(|&a, &b| z.at(&[i, a]).partial_cmp(&z.at(&[i, b])).unwrap())
-                            .unwrap()
+                        let mut best = 0;
+                        for k in 1..classes {
+                            if z.at(&[i, k]) < z.at(&[i, best]) {
+                                best = k;
+                            }
+                        }
+                        best
                     })
                     .collect()
             }

@@ -38,6 +38,8 @@ fn seed_ikj_matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let rows_per = m.div_ceil(threads);
     std::thread::scope(|scope| {
         for (ti, chunk) in out.chunks_mut(rows_per * n).enumerate() {
+            // lint:allow(spawn) — this IS the seed's spawn-per-call GEMM,
+            // kept verbatim as the baseline the pool is benchmarked against.
             scope.spawn(move || {
                 for (ri, crow) in chunk.chunks_mut(n).enumerate() {
                     let i = ti * rows_per + ri;

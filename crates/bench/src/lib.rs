@@ -70,8 +70,10 @@ impl HarnessOpts {
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             let mut take = |name: &str| {
-                args.next()
-                    .unwrap_or_else(|| panic!("{name} requires a value"))
+                args.next().unwrap_or_else(|| {
+                    eprintln!("{name} requires a value");
+                    std::process::exit(2);
+                })
             };
             match arg.as_str() {
                 "--paper-scale" => opts.paper_scale = true,
@@ -80,9 +82,9 @@ impl HarnessOpts {
                     opts.train = 200;
                     opts.test = 24;
                 }
-                "--train" => opts.train = take("--train").parse().expect("--train N"),
-                "--test" => opts.test = take("--test").parse().expect("--test N"),
-                "--seed" => opts.seed = take("--seed").parse().expect("--seed S"),
+                "--train" => opts.train = parse_num(&take("--train"), "--train N"),
+                "--test" => opts.test = parse_num(&take("--test"), "--test N"),
+                "--seed" => opts.seed = parse_num(&take("--seed"), "--seed S"),
                 "--out" => opts.out_dir = PathBuf::from(take("--out")),
                 other => {
                     eprintln!(
@@ -137,13 +139,26 @@ impl HarnessOpts {
     }
 
     /// Writes an artifact file under the output directory, creating it if
-    /// needed, and logs the path.
+    /// needed, and logs the path. I/O failures (unwritable directory, disk
+    /// full) abort the harness with a message and exit code 1.
     pub fn write_artifact(&self, name: &str, content: &str) {
-        std::fs::create_dir_all(&self.out_dir).expect("create output dir");
         let path = self.out_dir.join(name);
-        std::fs::write(&path, content).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        let result =
+            std::fs::create_dir_all(&self.out_dir).and_then(|()| std::fs::write(&path, content));
+        if let Err(e) = result {
+            eprintln!("cannot write artifact {}: {e}", path.display());
+            std::process::exit(1);
+        }
         println!("wrote {}", path.display());
     }
+}
+
+/// Parses a numeric CLI value, aborting with a usage message on failure.
+fn parse_num<T: std::str::FromStr>(s: &str, usage: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value {s:?}; usage: {usage}");
+        std::process::exit(2);
+    })
 }
 
 /// Short display label for a dataset (paper-style, without the analog

@@ -44,7 +44,7 @@ pub fn median_ns<T>(warmup: usize, samples: usize, mut body: impl FnMut() -> T) 
             start.elapsed().as_nanos() as f64
         })
         .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times.sort_by(|a, b| a.total_cmp(b));
     times[times.len() / 2]
 }
 

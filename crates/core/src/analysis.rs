@@ -108,7 +108,7 @@ pub fn logit_stats(classifier: &Net, x: &Tensor) -> LogitStats {
         let row: Vec<f32> = (0..c).map(|k| z.at(&[i, k])).collect();
         norm_sum += row.iter().map(|&v| (v as f64).powi(2)).sum::<f64>().sqrt();
         let mut sorted = row.clone();
-        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        sorted.sort_by(|a, b| b.total_cmp(a));
         margin_sum += (sorted[0] - sorted[1]) as f64;
     }
     LogitStats {

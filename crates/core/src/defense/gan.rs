@@ -196,6 +196,9 @@ impl Defense for GanDef {
                         // s given z ⇔ minimize BCE.
                         let d_loss = sess.tape.bce_with_logits(d_out, &s);
                         let mut grads = sess.backward_all(d_loss);
+                        // lint:allow(panic) — `backward_all` returns one
+                        // grad set per store passed to `new_multi` (two
+                        // here), so the pop cannot fail.
                         opt_d.step(&mut disc.params, &grads.pop().expect("disc grads"));
                     }
 

@@ -1,0 +1,33 @@
+//! Seeded lint fixture: exactly one violation of each rule, used by the
+//! CI self-test (`scripts/ci.sh`) and the integration tests to prove the
+//! lint still detects everything it claims to. This file is never
+//! compiled — it lives outside `src/` and `tests/` on purpose.
+
+/// Rule `safety`: an `unsafe` block with no SAFETY comment above it.
+pub fn seeded_safety(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+/// Rule `panic`: an `unwrap()` in library code, no annotation.
+pub fn seeded_panic(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+/// Rule `bounds`: a raw-parts slice in a function with no `debug_assert!`
+/// bounds contract (the SAFETY comment keeps rule `safety` quiet).
+pub fn seeded_bounds(p: *const f32, len: usize) -> Vec<f32> {
+    // SAFETY: caller promises `p` is valid for `len` reads.
+    let s = unsafe { std::slice::from_raw_parts(p, len) };
+    s.to_vec()
+}
+
+/// Rule `knob`: reads an env knob that no registry declares.
+pub fn seeded_knob() -> bool {
+    std::env::var("GANDEF_FIXTURE_ONLY").is_ok()
+}
+
+/// Rule `spawn`: raw thread spawn outside `pool.rs`.
+pub fn seeded_spawn() {
+    let t = std::thread::spawn(|| {});
+    let _ = t.join();
+}

@@ -1,0 +1,63 @@
+//! `gandef-lint` CLI: lints the workspace (or explicit files) and exits
+//! nonzero on any violation. See the crate docs for the rule set.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: gandef-lint [--root DIR] [--knobs FILE] [FILES...]\n\
+  With no FILES, walks every `src/` tree of the workspace under --root\n\
+  (default `.`). Exit codes: 0 clean, 1 violations, 2 usage/I-O error.";
+
+fn main() -> ExitCode {
+    let mut cfg = gandef_lint::Config::workspace(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => cfg.root = PathBuf::from(dir),
+                None => return usage_error("--root requires a directory"),
+            },
+            "--knobs" => match args.next() {
+                Some(file) => cfg.knobs = Some(PathBuf::from(file)),
+                None => return usage_error("--knobs requires a file"),
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                return usage_error(&format!("unknown flag {flag}"));
+            }
+            file => cfg.files.push(PathBuf::from(file)),
+        }
+    }
+    match gandef_lint::run(&cfg) {
+        Ok(outcome) if outcome.violations.is_empty() => {
+            println!(
+                "gandef-lint: OK — {} files, 0 violations",
+                outcome.files_checked
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(outcome) => {
+            for v in &outcome.violations {
+                eprintln!("{v}");
+            }
+            eprintln!(
+                "gandef-lint: {} violation(s) in {} file(s) checked",
+                outcome.violations.len(),
+                outcome.files_checked
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("gandef-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("gandef-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

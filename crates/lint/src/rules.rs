@@ -1,0 +1,776 @@
+//! The lint rules.
+//!
+//! Every rule is named, and every rule can be suppressed at a single site
+//! with an annotation comment on the offending line or anywhere in the
+//! contiguous comment block directly above it:
+//!
+//! ```text
+//! // lint:allow(<rule>) — <reason>
+//! ```
+//!
+//! A suppression **must** carry a reason; a bare `lint:allow(panic)` is
+//! itself rejected. The rules (see `docs/KNOBS.md` and DESIGN.md "Static
+//! analysis & unsafe audit" for the policy rationale):
+//!
+//! | rule     | invariant |
+//! |----------|-----------|
+//! | `safety` | every `unsafe` block/fn/impl is directly preceded by a `// SAFETY:` comment (or a `# Safety` doc section) within its own statement/item |
+//! | `panic`  | no `.unwrap()`, `.expect(` or `panic!` in library code (outside `tests/`, `/bin/`, `/examples/` and `#[cfg(test)]` modules) |
+//! | `bounds` | raw-pointer kernel entry points (`from_raw_parts*`, `get_unchecked*`, `_mm*` loads/stores) live in functions that state a bounds contract via `debug_assert!` |
+//! | `knob`   | every `std::env::var("GANDEF_*")` read is declared in the `docs/KNOBS.md` registry (and every registry row is read somewhere) |
+//! | `spawn`  | no `thread::spawn` / `Builder::spawn` outside `pool.rs` — all parallelism goes through the worker pool |
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// Identifier of one lint rule, used in reports and `lint:allow(...)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// `unsafe` without a preceding SAFETY comment.
+    Safety,
+    /// `unwrap()` / `expect(` / `panic!` in library code.
+    Panic,
+    /// Raw-pointer kernel without a `debug_assert!` bounds contract.
+    Bounds,
+    /// Undeclared (or stale) `GANDEF_*` environment knob.
+    Knob,
+    /// Thread spawn outside the worker pool.
+    Spawn,
+}
+
+impl Rule {
+    /// The rule's name as written in reports and suppressions.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Safety => "safety",
+            Rule::Panic => "panic",
+            Rule::Bounds => "bounds",
+            Rule::Knob => "knob",
+            Rule::Spawn => "spawn",
+        }
+    }
+
+    /// All rules, for self-tests and reporting.
+    pub const ALL: [Rule; 5] = [
+        Rule::Safety,
+        Rule::Panic,
+        Rule::Bounds,
+        Rule::Knob,
+        Rule::Spawn,
+    ];
+}
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Display path of the offending file.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// A `std::env::var("GANDEF_*")` read site, collected for the registry
+/// cross-check in [`crate::run`].
+#[derive(Debug, Clone)]
+pub struct KnobRead {
+    /// Knob name, e.g. `GANDEF_THREADS`.
+    pub name: String,
+    /// Display path of the reading file.
+    pub file: String,
+    /// 1-based line of the read.
+    pub line: usize,
+    /// True if the site carries a `lint:allow(knob)` suppression.
+    pub suppressed: bool,
+}
+
+/// Result of linting a single file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Violations found in this file.
+    pub violations: Vec<Violation>,
+    /// `GANDEF_*` env reads found in this file (registry checking is the
+    /// caller's job — it needs the registry and the full read set).
+    pub knob_reads: Vec<KnobRead>,
+}
+
+/// Lints one source file. `file` is the display path; `is_lib` should be
+/// false for `tests/`, `src/bin/` and `examples/` code, where the `panic`
+/// rule does not apply. The `knob` rule is *not* resolved here — reads are
+/// collected into the report for the caller to check against the registry.
+pub fn check_file(file: &str, src: &str, is_lib: bool) -> FileReport {
+    let toks = lex(src);
+    let ctx = FileCtx::new(file, src, &toks, is_lib);
+    let mut report = FileReport::default();
+    ctx.rule_safety(&mut report);
+    ctx.rule_panic(&mut report);
+    ctx.rule_bounds(&mut report);
+    ctx.collect_knob_reads(&mut report);
+    ctx.rule_spawn(&mut report);
+    report
+}
+
+/// Per-file analysis context: the raw token stream, an index of code
+/// (non-comment) tokens, comment lines for suppression lookup, and the
+/// spans of `#[cfg(test)]` items and `fn` bodies.
+struct FileCtx<'a> {
+    file: &'a str,
+    toks: &'a [Token],
+    /// Indices into `toks` of non-comment tokens, in order.
+    code: Vec<usize>,
+    /// `(line, text)` of every comment token.
+    comments: Vec<(usize, &'a str)>,
+    /// Code-index ranges `(start, end)` covering `#[cfg(test)]` items
+    /// (brace-delimited body, inclusive of the braces).
+    test_spans: Vec<(usize, usize)>,
+    /// Code-index ranges of `fn` bodies (inclusive of the braces), in
+    /// source order; nested fns produce nested ranges.
+    fn_spans: Vec<(usize, usize)>,
+    is_lib: bool,
+}
+
+impl<'a> FileCtx<'a> {
+    fn new(file: &'a str, _src: &str, toks: &'a [Token], is_lib: bool) -> Self {
+        let code: Vec<usize> = (0..toks.len())
+            .filter(|&i| toks[i].kind != TokKind::Comment)
+            .collect();
+        let comments: Vec<(usize, &str)> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Comment)
+            .map(|t| (t.line, t.text.as_str()))
+            .collect();
+        let mut ctx = FileCtx {
+            file,
+            toks,
+            code,
+            comments,
+            test_spans: Vec::new(),
+            fn_spans: Vec::new(),
+            is_lib,
+        };
+        ctx.test_spans = ctx.find_test_spans();
+        ctx.fn_spans = ctx.find_fn_spans();
+        ctx
+    }
+
+    /// The code token at code-index `p`.
+    fn ct(&self, p: usize) -> &Token {
+        &self.toks[self.code[p]]
+    }
+
+    fn violation(&self, report: &mut FileReport, line: usize, rule: Rule, message: String) {
+        report.violations.push(Violation {
+            file: self.file.to_string(),
+            line,
+            rule,
+            message,
+        });
+    }
+
+    /// True if a `lint:allow(<rule>)` comment with a non-empty reason sits
+    /// on `line` or in the contiguous comment block directly above it (so
+    /// a multi-line justification can wrap freely).
+    fn suppressed(&self, line: usize, rule: Rule) -> bool {
+        let pat = format!("lint:allow({})", rule.name());
+        let allow_on = |l: usize| {
+            self.comments
+                .iter()
+                .any(|&(cl, text)| cl == l && allow_has_reason(text, &pat))
+        };
+        if allow_on(line) {
+            return true;
+        }
+        let is_comment_line = |l: usize| self.comments.iter().any(|&(cl, _)| cl == l);
+        let mut l = line;
+        while l > 1 && is_comment_line(l - 1) {
+            l -= 1;
+            if allow_on(l) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn in_test_span(&self, p: usize) -> bool {
+        self.test_spans.iter().any(|&(s, e)| s <= p && p <= e)
+    }
+
+    /// Code-index of the matching `}` for the `{` at code-index `open`.
+    /// Unbalanced input yields the last token (lint keeps going).
+    fn matching_brace(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        for p in open..self.code.len() {
+            match self.ct(p).kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return p;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.code.len().saturating_sub(1)
+    }
+
+    /// Spans of items annotated `#[cfg(test)]` (or `#[cfg(all(test, …))]`):
+    /// from the attribute, skip any further attributes, then take the
+    /// item's brace-delimited body (a `;` first means no body — no span).
+    fn find_test_spans(&self) -> Vec<(usize, usize)> {
+        let mut spans = Vec::new();
+        let mut p = 0usize;
+        while p < self.code.len() {
+            if let Some(after) = self.match_cfg_test_attr(p) {
+                let mut q = after;
+                // Skip trailing attributes on the same item.
+                while q < self.code.len() && self.ct(q).is_punct('#') {
+                    q = self.skip_attr(q);
+                }
+                while q < self.code.len() {
+                    match self.ct(q).kind {
+                        TokKind::Punct('{') => {
+                            let end = self.matching_brace(q);
+                            spans.push((q, end));
+                            q = end;
+                            break;
+                        }
+                        TokKind::Punct(';') => break,
+                        _ => q += 1,
+                    }
+                }
+                p = q.max(after);
+            }
+            p += 1;
+        }
+        spans
+    }
+
+    /// If code-index `p` starts a `#[cfg(… test …)]` attribute, returns the
+    /// code-index just past its closing `]`.
+    fn match_cfg_test_attr(&self, p: usize) -> Option<usize> {
+        if !self.ct(p).is_punct('#') {
+            return None;
+        }
+        let mut q = p + 1;
+        if q < self.code.len() && self.ct(q).is_punct('!') {
+            q += 1;
+        }
+        if q >= self.code.len() || !self.ct(q).is_punct('[') {
+            return None;
+        }
+        let close = self.matching_bracket(q);
+        let is_cfg = q + 1 < self.code.len() && self.ct(q + 1).is_ident("cfg");
+        if !is_cfg {
+            return None;
+        }
+        let has_test = (q + 2..close).any(|r| self.ct(r).is_ident("test"));
+        if has_test {
+            Some(close + 1)
+        } else {
+            None
+        }
+    }
+
+    /// Code-index of the matching `]` for the `[` at code-index `open`.
+    fn matching_bracket(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        for p in open..self.code.len() {
+            match self.ct(p).kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return p;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.code.len().saturating_sub(1)
+    }
+
+    /// Code-index just past the attribute starting at `p` (at its `#`).
+    fn skip_attr(&self, p: usize) -> usize {
+        let mut q = p + 1;
+        if q < self.code.len() && self.ct(q).is_punct('!') {
+            q += 1;
+        }
+        if q < self.code.len() && self.ct(q).is_punct('[') {
+            self.matching_bracket(q) + 1
+        } else {
+            q
+        }
+    }
+
+    /// Brace spans of every `fn` body (closures are attributed to their
+    /// enclosing `fn`, which is the right granularity for rule `bounds`).
+    fn find_fn_spans(&self) -> Vec<(usize, usize)> {
+        let mut spans = Vec::new();
+        for p in 0..self.code.len() {
+            if !self.ct(p).is_ident("fn") {
+                continue;
+            }
+            // Walk the signature: the body is the first `{` at bracket
+            // depth 0; a `;` first means a bodyless declaration.
+            let mut depth = 0i32;
+            let mut q = p + 1;
+            while q < self.code.len() {
+                match self.ct(q).kind {
+                    TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+                    TokKind::Punct('{') if depth == 0 => {
+                        spans.push((q, self.matching_brace(q)));
+                        break;
+                    }
+                    TokKind::Punct(';') if depth == 0 => break,
+                    _ => {}
+                }
+                q += 1;
+            }
+        }
+        spans
+    }
+
+    /// The innermost `fn` body span containing code-index `p`.
+    fn enclosing_fn(&self, p: usize) -> Option<(usize, usize)> {
+        self.fn_spans
+            .iter()
+            .filter(|&&(s, e)| s <= p && p <= e)
+            .min_by_key(|&&(s, e)| e - s)
+            .copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Rule: safety
+    // ------------------------------------------------------------------
+
+    /// Every `unsafe` token must have a comment containing `SAFETY` (or a
+    /// `# Safety` doc section) between it and the nearest preceding `;`,
+    /// `{` or `}` — i.e. directly above its own statement or item header
+    /// (doc comments and attributes on an `unsafe fn`/`unsafe impl` are
+    /// part of that window).
+    fn rule_safety(&self, report: &mut FileReport) {
+        for (raw_idx, tok) in self.toks.iter().enumerate() {
+            if !tok.is_ident("unsafe") {
+                continue;
+            }
+            if self.suppressed(tok.line, Rule::Safety) {
+                continue;
+            }
+            let mut ok = false;
+            for prev in self.toks[..raw_idx].iter().rev() {
+                match prev.kind {
+                    TokKind::Comment => {
+                        if prev.text.contains("SAFETY") || prev.text.contains("# Safety") {
+                            ok = true;
+                            break;
+                        }
+                    }
+                    TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}') => break,
+                    _ => {}
+                }
+            }
+            if !ok {
+                self.violation(
+                    report,
+                    tok.line,
+                    Rule::Safety,
+                    "`unsafe` site without a `// SAFETY:` comment directly above its \
+                     statement or item"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rule: panic
+    // ------------------------------------------------------------------
+
+    fn rule_panic(&self, report: &mut FileReport) {
+        if !self.is_lib {
+            return;
+        }
+        for p in 0..self.code.len() {
+            let t = self.ct(p);
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let next_is = |c| p + 1 < self.code.len() && self.ct(p + 1).is_punct(c);
+            let prev_is = |c| p > 0 && self.ct(p - 1).is_punct(c);
+            let what = match t.text.as_str() {
+                "unwrap" | "expect" if prev_is('.') && next_is('(') => {
+                    format!(".{}(…)", t.text)
+                }
+                "panic" if next_is('!') => "panic!".to_string(),
+                _ => continue,
+            };
+            if self.in_test_span(p) || self.suppressed(t.line, Rule::Panic) {
+                continue;
+            }
+            self.violation(
+                report,
+                t.line,
+                Rule::Panic,
+                format!(
+                    "{what} in library code — return a typed error, or annotate \
+                     `// lint:allow(panic) — <reason>` if genuinely unreachable"
+                ),
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rule: bounds
+    // ------------------------------------------------------------------
+
+    fn rule_bounds(&self, report: &mut FileReport) {
+        // One violation per offending function, at its first trigger.
+        let mut flagged: Vec<(usize, usize)> = Vec::new();
+        for p in 0..self.code.len() {
+            let t = self.ct(p);
+            if t.kind != TokKind::Ident || !is_raw_pointer_entry(&t.text) {
+                continue;
+            }
+            if self.suppressed(t.line, Rule::Bounds) {
+                continue;
+            }
+            let Some(span) = self.enclosing_fn(p) else {
+                self.violation(
+                    report,
+                    t.line,
+                    Rule::Bounds,
+                    format!("raw-pointer op `{}` outside any function", t.text),
+                );
+                continue;
+            };
+            if flagged.contains(&span) {
+                continue;
+            }
+            let has_contract = (span.0..=span.1).any(|q| {
+                let u = self.ct(q);
+                u.kind == TokKind::Ident && u.text.starts_with("debug_assert")
+            });
+            if !has_contract {
+                flagged.push(span);
+                self.violation(
+                    report,
+                    t.line,
+                    Rule::Bounds,
+                    format!(
+                        "raw-pointer op `{}` in a function without a `debug_assert!` \
+                         bounds contract",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rule: knob (collection half; the registry check lives in lib.rs)
+    // ------------------------------------------------------------------
+
+    fn collect_knob_reads(&self, report: &mut FileReport) {
+        for p in 0..self.code.len() {
+            let t = self.ct(p);
+            let is_env_read = t.kind == TokKind::Ident && (t.text == "var" || t.text == "var_os");
+            if !is_env_read || p + 2 >= self.code.len() || !self.ct(p + 1).is_punct('(') {
+                continue;
+            }
+            let arg = self.ct(p + 2);
+            if arg.kind != TokKind::Str {
+                continue;
+            }
+            let name = string_content(&arg.text);
+            if !name.starts_with("GANDEF_") {
+                continue;
+            }
+            report.knob_reads.push(KnobRead {
+                name: name.to_string(),
+                file: self.file.to_string(),
+                line: t.line,
+                suppressed: self.suppressed(t.line, Rule::Knob),
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rule: spawn
+    // ------------------------------------------------------------------
+
+    fn rule_spawn(&self, report: &mut FileReport) {
+        let file_name = self.file.rsplit('/').next().unwrap_or(self.file);
+        if file_name == "pool.rs" {
+            return;
+        }
+        for p in 1..self.code.len() {
+            let t = self.ct(p);
+            let called = p + 1 < self.code.len() && self.ct(p + 1).is_punct('(');
+            let qualified = self.ct(p - 1).is_punct('.') || self.ct(p - 1).is_punct(':');
+            if !(t.is_ident("spawn") && called && qualified) {
+                continue;
+            }
+            if self.suppressed(t.line, Rule::Spawn) {
+                continue;
+            }
+            self.violation(
+                report,
+                t.line,
+                Rule::Spawn,
+                "thread spawn outside `pool.rs` — route parallelism through \
+                 `gandef_tensor::pool`"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// True if `name` is a raw-pointer kernel entry point the `bounds` rule
+/// tracks: slice-from-raw constructors, unchecked indexing, and SIMD
+/// loads/stores.
+fn is_raw_pointer_entry(name: &str) -> bool {
+    matches!(
+        name,
+        "from_raw_parts" | "from_raw_parts_mut" | "get_unchecked" | "get_unchecked_mut"
+    ) || (name.starts_with("_mm") && (name.contains("load") || name.contains("store")))
+}
+
+/// Extracts the content of a string-literal token (strips prefix, hashes
+/// and quotes).
+fn string_content(text: &str) -> &str {
+    let Some(open) = text.find('"') else {
+        return "";
+    };
+    let inner = &text[open + 1..];
+    match inner.find('"') {
+        Some(close) => &inner[..close],
+        None => inner,
+    }
+}
+
+/// True if `text` contains `pat` (a `lint:allow(<rule>)` marker) followed
+/// by a non-empty reason.
+fn allow_has_reason(text: &str, pat: &str) -> bool {
+    let Some(pos) = text.find(pat) else {
+        return false;
+    };
+    let rest = text[pos + pat.len()..]
+        .trim_start_matches(|c: char| c.is_whitespace() || matches!(c, '—' | '–' | '-' | ':'));
+    rest.trim().len() >= 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violations(src: &str) -> Vec<Violation> {
+        check_file("lib/sample.rs", src, true).violations
+    }
+
+    fn rules_fired(src: &str) -> Vec<Rule> {
+        violations(src).into_iter().map(|v| v.rule).collect()
+    }
+
+    // ---- safety ----
+
+    #[test]
+    fn unsafe_without_comment_fires() {
+        let src = "fn f(p: *const u8) { let _ = unsafe { *p }; }";
+        assert_eq!(rules_fired(src), vec![Rule::Safety]);
+    }
+
+    #[test]
+    fn unsafe_with_safety_comment_passes() {
+        let src = "fn f(p: *const u8) {\n    // SAFETY: p is valid by contract.\n    let _ = unsafe { *p };\n}";
+        assert!(rules_fired(src).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_beyond_statement_boundary_does_not_count() {
+        let src =
+            "// SAFETY: stale comment.\nfn g() {}\nfn f(p: *const u8) { let _ = unsafe { *p }; }";
+        assert_eq!(rules_fired(src), vec![Rule::Safety]);
+    }
+
+    #[test]
+    fn unsafe_fn_with_safety_doc_section_passes() {
+        let src = "/// Does things.\n///\n/// # Safety\n///\n/// Caller checks cpu features.\n#[target_feature(enable = \"avx2\")]\nunsafe fn k() {}";
+        assert!(rules_fired(src).is_empty());
+    }
+
+    #[test]
+    fn each_unsafe_impl_needs_its_own_comment() {
+        let src = "// SAFETY: reason one.\nunsafe impl Send for X {}\nunsafe impl Sync for X {}";
+        let v = violations(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_is_ignored() {
+        let src = "fn f() { let _ = \"unsafe { }\"; }\n// just mentioning unsafe here\n";
+        assert!(rules_fired(src).is_empty());
+    }
+
+    // ---- panic ----
+
+    #[test]
+    fn unwrap_expect_panic_fire_in_lib_code() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\nfn g(x: Option<u8>) -> u8 { x.expect(\"msg\") }\nfn h() { panic!(\"boom\"); }";
+        assert_eq!(rules_fired(src), vec![Rule::Panic; 3]);
+    }
+
+    #[test]
+    fn panic_rule_skips_non_lib_files() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert!(check_file("crates/x/src/bin/tool.rs", src, false)
+            .violations
+            .is_empty());
+    }
+
+    #[test]
+    fn panic_rule_skips_cfg_test_modules() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}";
+        assert!(rules_fired(src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_like_names_do_not_fire() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\nfn g(x: Option<u8>) -> u8 { x.unwrap_or_else(|| 1) }\nfn h() { std::panic::catch_unwind(|| {}).ok(); }";
+        assert!(rules_fired(src).is_empty());
+    }
+
+    #[test]
+    fn suppression_with_reason_is_honored() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // lint:allow(panic) — x is Some by construction\n    x.unwrap()\n}";
+        assert!(rules_fired(src).is_empty());
+    }
+
+    #[test]
+    fn suppression_on_same_line_is_honored() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint:allow(panic) — always Some";
+        assert!(rules_fired(src).is_empty());
+    }
+
+    #[test]
+    fn suppression_in_multi_line_comment_block_is_honored() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // lint:allow(panic) — x is Some by\n    // construction; see the constructor\n    // invariant three lines up.\n    x.unwrap()\n}";
+        assert!(rules_fired(src).is_empty());
+    }
+
+    #[test]
+    fn suppression_beyond_comment_block_is_rejected() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // lint:allow(panic) — stale annotation\n    let y = x;\n    y.unwrap()\n}";
+        assert_eq!(rules_fired(src), vec![Rule::Panic]);
+    }
+
+    #[test]
+    fn suppression_without_reason_is_rejected() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // lint:allow(panic)\n    x.unwrap()\n}";
+        assert_eq!(rules_fired(src), vec![Rule::Panic]);
+    }
+
+    #[test]
+    fn suppression_for_wrong_rule_is_rejected() {
+        let src =
+            "fn f(x: Option<u8>) -> u8 {\n    // lint:allow(spawn) — wrong rule\n    x.unwrap()\n}";
+        assert_eq!(rules_fired(src), vec![Rule::Panic]);
+    }
+
+    // ---- bounds ----
+
+    #[test]
+    fn raw_parts_without_debug_assert_fires() {
+        let src = "fn f(p: *const f32, n: usize) {\n    // SAFETY: caller contract.\n    let _ = unsafe { std::slice::from_raw_parts(p, n) };\n}";
+        assert_eq!(rules_fired(src), vec![Rule::Bounds]);
+    }
+
+    #[test]
+    fn raw_parts_with_debug_assert_passes() {
+        let src = "fn f(p: *const f32, n: usize) {\n    debug_assert!(n < 10);\n    // SAFETY: caller contract.\n    let _ = unsafe { std::slice::from_raw_parts(p, n) };\n}";
+        assert!(rules_fired(src).is_empty());
+    }
+
+    #[test]
+    fn simd_loads_need_contract_once_per_fn() {
+        let src = "unsafe fn k(p: *const f32) {\n    let a = _mm256_loadu_ps(p);\n    let b = _mm256_loadu_ps(p);\n}\n// lint:allow(safety) — not the point of this test\nfn unused() {}";
+        let v: Vec<Violation> = violations(src)
+            .into_iter()
+            .filter(|v| v.rule == Rule::Bounds)
+            .collect();
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn closure_inherits_enclosing_fn_contract() {
+        let src = "fn f(p: *mut f32, n: usize) {\n    debug_assert!(n > 0);\n    let c = || {\n        // SAFETY: disjoint.\n        let _ = unsafe { std::slice::from_raw_parts_mut(p, n) };\n    };\n    c();\n}";
+        assert!(rules_fired(src).is_empty());
+    }
+
+    // ---- knob ----
+
+    #[test]
+    fn knob_reads_are_collected() {
+        let src = "fn f() -> bool { std::env::var(\"GANDEF_X\").is_ok() || std::env::var_os(\"GANDEF_Y\").is_some() }";
+        let r = check_file("x.rs", src, true);
+        let names: Vec<&str> = r.knob_reads.iter().map(|k| k.name.as_str()).collect();
+        assert_eq!(names, vec!["GANDEF_X", "GANDEF_Y"]);
+    }
+
+    #[test]
+    fn non_gandef_env_reads_are_ignored() {
+        let src = "fn f() { let _ = std::env::var(\"PATH\"); }";
+        assert!(check_file("x.rs", src, true).knob_reads.is_empty());
+    }
+
+    // ---- spawn ----
+
+    #[test]
+    fn thread_spawn_fires_outside_pool() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        assert_eq!(rules_fired(src), vec![Rule::Spawn]);
+    }
+
+    #[test]
+    fn builder_spawn_fires_outside_pool() {
+        let src = "fn f() { std::thread::Builder::new().spawn(|| {}).ok(); }";
+        assert_eq!(
+            rules_fired(src)
+                .into_iter()
+                .filter(|r| *r == Rule::Spawn)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn spawn_in_pool_rs_is_allowed() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        assert!(check_file("crates/tensor/src/pool.rs", src, true)
+            .violations
+            .is_empty());
+    }
+
+    #[test]
+    fn spawn_as_plain_word_is_ignored() {
+        let src = "fn spawn_rate() -> f32 { 1.0 }\nfn f() { let spawn = 3; let _ = spawn; }";
+        assert!(rules_fired(src).is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! Lint self-tests: the seeded fixture must trip every rule, and the real
+//! workspace must be clean. Keeping the second check in `cargo test`
+//! means tier-1 CI enforces the invariants even before `scripts/ci.sh`
+//! runs the dedicated lint stage.
+
+use gandef_lint::rules::Rule;
+use gandef_lint::{run, Config};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+#[test]
+fn seeded_fixture_trips_every_rule_exactly_once() {
+    let root = workspace_root();
+    let mut cfg = Config::workspace(&root);
+    cfg.files = vec![root.join("crates/lint/fixtures/seeded.rs")];
+    let outcome = run(&cfg).expect("lint run");
+    for rule in Rule::ALL {
+        let count = outcome.violations.iter().filter(|v| v.rule == rule).count();
+        assert_eq!(
+            count,
+            1,
+            "rule `{}` fired {count} times on the seeded fixture (want exactly 1):\n{}",
+            rule.name(),
+            render(&outcome.violations)
+        );
+    }
+    assert_eq!(outcome.violations.len(), Rule::ALL.len());
+}
+
+#[test]
+fn workspace_is_clean() {
+    let root = workspace_root();
+    let outcome = run(&Config::workspace(&root)).expect("lint run");
+    assert!(
+        outcome.files_checked > 50,
+        "workspace walk found only {} files — walker broken?",
+        outcome.files_checked
+    );
+    assert!(
+        outcome.violations.is_empty(),
+        "workspace has lint violations:\n{}",
+        render(&outcome.violations)
+    );
+}
+
+#[test]
+fn missing_registry_makes_knob_reads_violations() {
+    let root = workspace_root();
+    let mut cfg = Config::workspace(&root);
+    cfg.files = vec![root.join("crates/lint/fixtures/seeded.rs")];
+    cfg.knobs = Some(root.join("does/not/exist.md"));
+    let outcome = run(&cfg).expect("lint run");
+    assert!(
+        outcome
+            .violations
+            .iter()
+            .any(|v| v.rule == Rule::Knob && v.message.contains("GANDEF_FIXTURE_ONLY")),
+        "{}",
+        render(&outcome.violations)
+    );
+}
+
+fn render(violations: &[gandef_lint::rules::Violation]) -> String {
+    violations
+        .iter()
+        .map(|v| format!("  {v}\n"))
+        .collect::<String>()
+}

@@ -130,6 +130,8 @@ impl Classifier for Net {
         let grads = sess.tape.backward(loss);
         let gx = grads
             .get(xv)
+            // lint:allow(panic) — the loss is built from `xv` above, so the
+            // backward sweep always reaches the input leaf.
             .expect("input must receive a gradient")
             .clone();
         (value, gx)
@@ -143,6 +145,8 @@ impl Classifier for Net {
         let grads = sess.tape.backward(s);
         grads
             .get(xv)
+            // lint:allow(panic) — the weighted score is built from `xv`
+            // above, so the backward sweep always reaches the input leaf.
             .expect("input must receive a gradient")
             .clone()
     }

@@ -103,6 +103,8 @@ impl Params {
         *self
             .index
             .get(name)
+            // lint:allow(panic) — documented `# Panics` contract; an
+            // unknown parameter name is a caller bug.
             .unwrap_or_else(|| panic!("unknown parameter {name:?}"))
     }
 
@@ -221,6 +223,8 @@ impl Session {
                 return store.ids[i];
             }
         }
+        // lint:allow(panic) — documented `# Panics` contract; an unknown
+        // parameter name is a caller bug.
         panic!("unknown parameter {name:?}")
     }
 

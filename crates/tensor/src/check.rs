@@ -107,6 +107,8 @@ pub fn cases(n: usize, mut property: impl FnMut(&mut Gen)) {
                 .map(String::as_str)
                 .or_else(|| payload.downcast_ref::<&str>().copied())
                 .unwrap_or("<non-string panic>");
+            // lint:allow(panic) — deliberate re-raise: the property-test
+            // harness reports the failing case and seed by panicking.
             panic!("property failed at case {i}/{n} (seed {seed:#x}): {msg}");
         }
     }

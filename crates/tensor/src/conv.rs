@@ -103,7 +103,8 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize, spec: ConvSpec) -> Tensor {
 ///
 /// Panics if the column matrix does not match the stated geometry.
 pub fn col2im(cols: &Tensor, input_dims: &[usize], kh: usize, kw: usize, spec: ConvSpec) -> Tensor {
-    let [n, c, h, w]: [usize; 4] = input_dims.try_into().expect("input_dims must be [N,C,H,W]");
+    assert_eq!(input_dims.len(), 4, "col2im: input_dims must be [N,C,H,W]");
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
     let ho = spec.out_dim(h, kh);
     let wo = spec.out_dim(w, kw);
     let cols_w = c * kh * kw;
@@ -353,7 +354,12 @@ pub fn global_avg_pool(input: &Tensor) -> Tensor {
 ///
 /// Panics if shapes disagree.
 pub fn global_avg_pool_backward(grad_out: &Tensor, input_dims: &[usize]) -> Tensor {
-    let [n, c, h, w]: [usize; 4] = input_dims.try_into().expect("input_dims must be [N,C,H,W]");
+    assert_eq!(
+        input_dims.len(),
+        4,
+        "global_avg_pool_backward: input_dims must be [N,C,H,W]"
+    );
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
     assert_eq!(grad_out.shape().dims(), &[n, c], "grad shape mismatch");
     let inv = 1.0 / (h * w) as f32;
     let g = grad_out.as_slice();

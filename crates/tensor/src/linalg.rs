@@ -382,6 +382,12 @@ fn fma_available() -> bool {
 /// Note: FMA rounds once per multiply-add, so results can differ from the
 /// generic kernel in the last bit — kernels are deterministic per machine,
 /// not across machines with different feature sets.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2+FMA support at runtime (see
+/// [`fma_available`]); `ap`/`bp` must hold at least `kc` packed panels
+/// (checked by the `debug_assert!` contract below).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
 #[allow(clippy::too_many_arguments)]
@@ -447,7 +453,9 @@ fn microkernel_generic(
     // vector registers (indexed slicing here measurably blocks
     // vectorization).
     for (av, bv) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
+        // lint:allow(panic) — `chunks_exact(MR)` yields exactly-MR slices.
         let av: [f32; MR] = av.try_into().unwrap();
+        // lint:allow(panic) — `chunks_exact(NR)` yields exactly-NR slices.
         let bv: [f32; NR] = bv.try_into().unwrap();
         for i in 0..MR {
             for j in 0..NR {
@@ -526,7 +534,9 @@ fn microkernel_f64_generic(
         row[..nr].copy_from_slice(arow);
     }
     for (av, bv) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
+        // lint:allow(panic) — `chunks_exact(MR)` yields exactly-MR slices.
         let av: [f32; MR] = av.try_into().unwrap();
+        // lint:allow(panic) — `chunks_exact(NR)` yields exactly-NR slices.
         let bv: [f32; NR] = bv.try_into().unwrap();
         for i in 0..MR {
             for j in 0..NR {
@@ -545,6 +555,12 @@ fn microkernel_f64_generic(
 /// four 4-wide accumulators per row in the same order as the portable
 /// kernel — both ops are exactly rounded per lane, so the two kernels are
 /// bit-identical and `GANDEF_NO_FMA` cannot change f64-mode results.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime (see
+/// [`fma_available`]); `ap`/`bp` must hold at least `kc` packed panels
+/// (checked by the `debug_assert!` contract below).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 #[allow(clippy::too_many_arguments)]

@@ -43,7 +43,22 @@
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Locks `m`, recovering the guard if a previous holder panicked. No
+/// critical section in this module can leave its data torn: job bodies run
+/// *outside* the locks (panics there are caught in [`execute`]), and the
+/// lock scopes themselves only flip small plain-old-data fields, so a
+/// poisoned mutex here only means some *other* thread is already
+/// unwinding — continuing is always sound.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock`].
+fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Requested pool size (0 = auto). Read once, at pool construction.
 static DESIRED_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -88,6 +103,8 @@ struct JobCore {
 // SAFETY: `func` is only dereferenced while the submitting frame is alive
 // (enforced by the completion latch), and the pointee is `Sync`.
 unsafe impl Send for JobCore {}
+// SAFETY: all fields are atomics / sync primitives except `func`, whose
+// pointee is `Sync`, so shared references can be used from any thread.
 unsafe impl Sync for JobCore {}
 
 /// Handoff slot between submitters and workers.
@@ -196,6 +213,8 @@ fn global_pool() -> Option<&'static Pool> {
             std::thread::Builder::new()
                 .name(format!("gandef-pool-{i}"))
                 .spawn(move || worker_loop(&shared))
+                // lint:allow(panic) — spawn failure at pool construction is
+                // unrecoverable resource exhaustion; no fallback exists.
                 .expect("failed to spawn pool worker");
             THREADS_SPAWNED.fetch_add(1, Ordering::Relaxed);
         }
@@ -209,14 +228,14 @@ fn worker_loop(shared: &Shared) {
     let mut seen_epoch = 0u64;
     loop {
         let job = {
-            let mut slot = shared.slot.lock().unwrap();
+            let mut slot = lock(&shared.slot);
             loop {
                 match &slot.job {
                     Some(j) if slot.epoch != seen_epoch => {
                         seen_epoch = slot.epoch;
                         break Arc::clone(j);
                     }
-                    _ => slot = shared.work_cv.wait(slot).unwrap(),
+                    _ => slot = wait(&shared.work_cv, slot),
                 }
             }
         };
@@ -239,7 +258,7 @@ fn execute(core: &JobCore) {
             core.panicked.store(true, Ordering::Relaxed);
         }
         if core.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let mut done = core.done.lock().unwrap();
+            let mut done = lock(&core.done);
             *done = true;
             core.done_cv.notify_all();
         }
@@ -254,8 +273,9 @@ impl Pool {
         if chunks == 0 {
             return;
         }
-        // Erase the borrow lifetime: `body` lives on this stack frame and
-        // this function does not return until the completion latch fires.
+        // SAFETY: lifetime erasure only — `body` lives on this stack frame
+        // and this function does not return until the completion latch
+        // fires, so no worker can observe a dangling pointer.
         let func: *const (dyn Fn(usize) + Sync) =
             unsafe { std::mem::transmute::<_, &'static (dyn Fn(usize) + Sync)>(body) };
         let core = Arc::new(JobCore {
@@ -268,9 +288,9 @@ impl Pool {
             done_cv: Condvar::new(),
         });
         {
-            let mut slot = self.shared.slot.lock().unwrap();
+            let mut slot = lock(&self.shared.slot);
             while slot.job.is_some() {
-                slot = self.shared.idle_cv.wait(slot).unwrap();
+                slot = wait(&self.shared.idle_cv, slot);
             }
             slot.job = Some(Arc::clone(&core));
             slot.epoch += 1;
@@ -283,13 +303,13 @@ impl Pool {
             flag.set(prev);
         });
         {
-            let mut done = core.done.lock().unwrap();
+            let mut done = lock(&core.done);
             while !*done {
-                done = core.done_cv.wait(done).unwrap();
+                done = wait(&core.done_cv, done);
             }
         }
         {
-            let mut slot = self.shared.slot.lock().unwrap();
+            let mut slot = lock(&self.shared.slot);
             slot.job = None;
             self.shared.idle_cv.notify_one();
         }
@@ -350,6 +370,8 @@ impl<T> Copy for SendPtr<T> {}
 // SAFETY: each task only touches its own disjoint region (enforced by the
 // callers below).
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: same disjointness argument as `Send` — concurrent shared access
+// never aliases a region another task writes.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 /// Splits `data` — logically a sequence of rows of `unit` elements — into
@@ -375,13 +397,19 @@ pub fn parallel_for_mut(
         unit
     );
     let rows = data.len() / unit;
+    let len = data.len();
     let ptr = SendPtr(data.as_mut_ptr());
     parallel_for(rows, grain, move |r| {
         // Capture the whole wrapper, not its raw-pointer field (edition
         // 2021 disjoint capture would otherwise defeat the Sync impl).
         let ptr = ptr;
+        debug_assert!(
+            r.start <= r.end && r.end * unit <= len,
+            "parallel_for range {r:?} escapes the {len}-element buffer"
+        );
         // SAFETY: ranges from `parallel_for` are disjoint, so each task
-        // gets a non-overlapping sub-slice.
+        // gets a non-overlapping sub-slice; the contract above keeps the
+        // sub-slice inside the original allocation.
         let chunk = unsafe {
             std::slice::from_raw_parts_mut(ptr.0.add(r.start * unit), (r.end - r.start) * unit)
         };
@@ -399,12 +427,16 @@ pub fn parallel_tasks<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T
         let ptr = ptr;
         for i in r {
             let v = f(i);
+            debug_assert!(i < n, "parallel_tasks index {i} out of {n} slots");
             // SAFETY: slot `i` is written by exactly one task.
             unsafe { *ptr.0.add(i) = Some(v) };
         }
     });
     results
         .into_iter()
+        // lint:allow(panic) — every slot in `0..n` is filled by exactly
+        // one task before `parallel_for` returns; an empty slot is a pool
+        // bug, not a caller error.
         .map(|v| v.expect("parallel task slot unfilled"))
         .collect()
 }
@@ -497,5 +529,33 @@ mod tests {
         // Either the pool is disabled (single core: panic propagates
         // directly) or the pool re-raises — both are panics.
         assert!(result.is_err(), "panic must not be swallowed");
+    }
+
+    #[test]
+    fn pool_survives_panicking_job() {
+        // A panicking job must poison only itself: the slot is released,
+        // no lock stays poisoned in a way that wedges the pool, and
+        // subsequent submissions complete normally.
+        for round in 0..3 {
+            let result = std::panic::catch_unwind(|| {
+                parallel_for(1 << 20, 1, |r| {
+                    if r.start == 0 {
+                        panic!("deliberate failure, round {round}");
+                    }
+                });
+            });
+            assert!(result.is_err(), "round {round}: panic was swallowed");
+
+            // The pool must still schedule and complete fresh work.
+            let mut data = vec![0.0f32; 1 << 16];
+            parallel_for_mut(&mut data, 1, 1, |first, chunk| {
+                for (off, v) in chunk.iter_mut().enumerate() {
+                    *v = (first + off) as f32;
+                }
+            });
+            assert_eq!(data[999], 999.0, "round {round}: pool wedged after panic");
+            let squares = parallel_tasks(257, |i| i * i);
+            assert_eq!(squares[256], 256 * 256);
+        }
     }
 }

@@ -384,6 +384,8 @@ impl Tensor {
             return other.map(|b| f(a, b));
         }
         let out_shape = self.shape.broadcast(&other.shape).unwrap_or_else(|| {
+            // lint:allow(panic) — documented `# Panics` contract of the
+            // elementwise zip: incompatible shapes are a caller bug.
             panic!(
                 "shapes {} and {} are not broadcast-compatible",
                 self.shape, other.shape
@@ -663,9 +665,9 @@ impl Tensor {
                 let row = &self.data[r * c..(r + 1) * c];
                 row.iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i)
-                    .unwrap()
+                    .unwrap_or(0)
             })
             .collect()
     }

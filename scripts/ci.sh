@@ -3,12 +3,16 @@
 #
 #   scripts/ci.sh
 #
-# Steps: format check, release build, full test suite, a smoke run of the
-# kernel micro-benchmarks gated against the checked-in BENCH_tensor.json
-# (bench_diff; writes BENCH_smoke.json to a temp dir so the checked-in
-# file is never clobbered), and the numerics audit: the f64-accumulation
-# kernel oracle must be byte-identical across thread counts and FMA
-# settings, and the f64 training trajectory must be reproducible.
+# Steps: format check, release build, full test suite, the gandef-lint
+# static-analysis gate (zero violations in the workspace, plus a
+# self-test proving the lint still detects every rule on a seeded
+# fixture), a smoke run of the kernel micro-benchmarks gated against the
+# checked-in BENCH_tensor.json (bench_diff; writes BENCH_smoke.json to a
+# temp dir so the checked-in file is never clobbered), the numerics
+# audit (the f64-accumulation kernel oracle must be byte-identical
+# across thread counts and FMA settings, and the f64 training trajectory
+# must be reproducible), and — when a nightly toolchain with Miri is
+# already installed — a Miri pass over the tensor crate's unsafe surface.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,11 +23,39 @@ export CARGO_NET_OFFLINE=true
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo build --release"
-cargo build --release
+# --workspace everywhere: the root manifest is also a package (the
+# façade), and a bare `cargo build`/`cargo test` would cover only it —
+# skipping every crate's unit tests and never producing the bench/lint
+# binaries the later stages invoke.
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> gandef-lint (workspace must be clean)"
+./target/release/gandef-lint
+
+echo "==> gandef-lint self-test (seeded fixture must trip every rule)"
+# The fixture holds exactly one violation per rule; the lint must exit
+# nonzero and report each rule by name, or the gate above is meaningless.
+fixture_out="$(mktemp)"
+if ./target/release/gandef-lint crates/lint/fixtures/seeded.rs >"$fixture_out" 2>&1; then
+    echo "FAIL: gandef-lint exited 0 on the seeded fixture"
+    cat "$fixture_out"
+    rm -f "$fixture_out"
+    exit 1
+fi
+for rule in safety panic bounds knob spawn; do
+    if ! grep -q "\[$rule\]" "$fixture_out"; then
+        echo "FAIL: gandef-lint did not detect seeded rule [$rule]"
+        cat "$fixture_out"
+        rm -f "$fixture_out"
+        exit 1
+    fi
+done
+rm -f "$fixture_out"
+echo "self-test OK: all 5 rules detected"
 
 echo "==> bench_kernels --smoke + bench_diff"
 out="$(mktemp -d)"
@@ -47,5 +79,18 @@ cat "$out/oracle_t1.txt"
 
 echo "==> numerics audit: trajectory divergence + f64 reproducibility"
 ./target/release/numerics_audit
+
+# Optional unsafe-surface audit: run Miri over the tensor crate when a
+# nightly toolchain with the miri component is already installed. This is
+# best-effort — the offline policy forbids installing toolchains here, so
+# the stage silently skips when unavailable.
+if cargo +nightly miri --version >/dev/null 2>&1; then
+    echo "==> miri (tensor crate unsafe surface)"
+    # The pool spawns detached workers that outlive the test harness;
+    # ignoring leaks keeps the check focused on UB, not shutdown order.
+    MIRIFLAGS="-Zmiri-ignore-leaks" cargo +nightly miri test -p gandef-tensor --lib
+else
+    echo "==> miri unavailable (no nightly toolchain) — skipping"
+fi
 
 echo "CI OK"
