@@ -100,6 +100,8 @@ impl Attack for CarliniWagner {
             // Margin term: f = z_true − max_{k≠true} z_k (per sample), and
             // the ±1 weight rows selecting d f / d adv.
             let mut weights = Tensor::zeros(&[n, classes]);
+            // lint:allow(alloc) — n-float scratch per Adam step, negligible
+            // next to the logits pass that dominates each iteration.
             let mut margin = vec![0.0f32; n];
             for i in 0..n {
                 let truth = labels[i];

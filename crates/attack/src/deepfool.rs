@@ -55,6 +55,8 @@ impl Attack for DeepFool {
 
         for _ in 0..self.max_iters {
             let preds = model.predict(&adv);
+            // lint:allow(alloc) — the active set shrinks every iteration;
+            // one Vec per outer iteration is the point of the row filter.
             let active: Vec<usize> = (0..n).filter(|&i| preds[i] == labels[i]).collect();
             if active.is_empty() {
                 break;
@@ -82,6 +84,9 @@ impl Attack for DeepFool {
             let mut delta = Tensor::zeros(x.shape().dims());
             for (r, &i) in active.iter().enumerate() {
                 let orig = labels[i];
+                // lint:allow(alloc) — one row copy per active sample per
+                // iteration; the candidate `w` below aliases the same
+                // class_grads storage, so a borrow must end here.
                 let g_orig: Vec<f32> =
                     class_grads[orig].as_slice()[r * row_elems..(r + 1) * row_elems].to_vec();
                 let z_orig = z.at(&[r, orig]);
@@ -91,6 +96,9 @@ impl Attack for DeepFool {
                         continue;
                     }
                     let gk = &class_grads[k].as_slice()[r * row_elems..(r + 1) * row_elems];
+                    // lint:allow(alloc) — candidate boundary direction must
+                    // outlive the k loop when it becomes `best`; a reusable
+                    // buffer would still need a copy on every improvement.
                     let w: Vec<f32> = gk.iter().zip(&g_orig).map(|(a, b)| a - b).collect();
                     let f = z.at(&[r, k]) - z_orig;
                     let norm = w.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-8);

@@ -65,9 +65,10 @@ impl Attack for Mim {
         let mut momentum = Tensor::zeros(x.shape().dims());
         for _ in 0..self.iters {
             let (_, grad) = model.ce_input_grad(&adv, &targets);
-            // Per-sample l1 normalization of the fresh gradient, then
-            // momentum accumulation: g ← μ·g + ∇/‖∇‖₁.
-            let mut normed = grad.clone();
+            // Per-sample l1 normalization of the fresh gradient (owned, so
+            // normalize in place), then momentum accumulation:
+            // g ← μ·g + ∇/‖∇‖₁.
+            let mut normed = grad;
             for i in 0..n {
                 let slice = &mut normed.as_mut_slice()[i * row..(i + 1) * row];
                 let l1: f32 = slice.iter().map(|v| v.abs()).sum::<f32>().max(1e-12);

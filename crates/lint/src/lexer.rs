@@ -271,6 +271,7 @@ impl Lexer<'_> {
             }
             // Byte char literal b'x'.
             ("b", Some(b'\'')) => {
+                let start_line = self.line;
                 self.i += 1;
                 while self.i < self.b.len() {
                     match self.b[self.i] {
@@ -279,11 +280,15 @@ impl Lexer<'_> {
                             self.i += 1;
                             break;
                         }
+                        b'\n' => {
+                            self.line += 1;
+                            self.i += 1;
+                        }
                         _ => self.i += 1,
                     }
                 }
                 let end = self.i.min(self.b.len());
-                self.push_span(TokKind::Char, start, end, self.line);
+                self.push_span(TokKind::Char, start, end, start_line);
             }
             _ => self.push_span(TokKind::Ident, start, self.i, self.line),
         }
@@ -291,18 +296,34 @@ impl Lexer<'_> {
 
     fn number(&mut self) {
         let start = self.i;
-        while matches!(self.peek(0), Some(c) if c == b'_' || c.is_ascii_alphanumeric()) {
-            self.i += 1;
-        }
+        self.digits_and_exponent(start);
         // `1.5`, `1.5e3`: a dot followed by a digit continues the number;
         // `0..n` does not (the dots stay punctuation).
         if self.peek(0) == Some(b'.') && matches!(self.peek(1), Some(c) if c.is_ascii_digit()) {
             self.i += 1;
+            self.digits_and_exponent(start);
+        }
+        self.push_span(TokKind::Num, start, self.i, self.line);
+    }
+
+    /// Consumes digits/suffix characters plus a signed exponent: `1e-3`
+    /// and `1.5E+10` are single numbers, while `0xE-1` stays three tokens
+    /// (in radix literals an `e` is a digit, not an exponent marker).
+    fn digits_and_exponent(&mut self, start: usize) {
+        loop {
             while matches!(self.peek(0), Some(c) if c == b'_' || c.is_ascii_alphanumeric()) {
                 self.i += 1;
             }
+            let radix_prefix = matches!(self.b.get(start..start + 2), Some(b"0x" | b"0b" | b"0o"));
+            let after_exponent = self.i > start && matches!(self.b[self.i - 1], b'e' | b'E');
+            let signed_digit = matches!(self.peek(0), Some(b'+' | b'-'))
+                && matches!(self.peek(1), Some(c) if c.is_ascii_digit());
+            if !radix_prefix && after_exponent && signed_digit {
+                self.i += 1; // the sign; the digit loop continues
+                continue;
+            }
+            break;
         }
-        self.push_span(TokKind::Num, start, self.i, self.line);
     }
 }
 
@@ -417,6 +438,84 @@ mod tests {
         );
         let k = kinds("1.5e-3");
         assert_eq!(k[0], TokKind::Num);
+    }
+
+    #[test]
+    fn signed_exponents_are_one_number() {
+        for src in ["1.5e-3", "1e-3", "2E+10", "1.5e3", "7e300"] {
+            let toks = lex(src);
+            assert_eq!(toks.len(), 1, "{src}: {toks:?}");
+            assert_eq!(toks[0].kind, TokKind::Num, "{src}");
+            assert_eq!(toks[0].text, src, "{src}");
+        }
+        // Subtraction after a number must stay subtraction…
+        let k = kinds("x1e - 3");
+        assert!(k.contains(&TokKind::Punct('-')), "{k:?}");
+        let toks = lex("1.0e0-3");
+        assert_eq!(toks[0].text, "1.0e0");
+        // …and hex digits named `e`/`E` are not exponent markers.
+        let toks = lex("0xE-1");
+        assert_eq!(toks[0].text, "0xE");
+        assert_eq!(toks.len(), 3, "{toks:?}");
+    }
+
+    #[test]
+    fn shifted_generic_closers_stay_single_puncts() {
+        // `Vec<Vec<f32>>` must not fuse `>>` — the parser layer matches
+        // single-character closers.
+        let toks = lex("let v: Vec<Vec<f32>> = Vec::new();");
+        let closers = toks.iter().filter(|t| t.is_punct('>')).count();
+        assert_eq!(closers, 2, "{toks:?}");
+        let openers = toks.iter().filter(|t| t.is_punct('<')).count();
+        assert_eq!(openers, 2);
+    }
+
+    #[test]
+    fn static_lifetime_vs_char_literal() {
+        let toks = lex("fn f(s: &'static str) { let c: char = 's'; }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'static"]);
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, vec!["'s'"]);
+    }
+
+    #[test]
+    fn raw_byte_strings_with_hashes() {
+        let src = r###"let a = br#"raw " unsafe bytes"#; tail"###;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "a", "tail"]);
+        let strs = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .count();
+        assert_eq!(strs, 1);
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let toks = lex("fn r#type() {} r#match");
+        let ids: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ids, vec!["fn", "r#type", "r#match"]);
+    }
+
+    #[test]
+    fn byte_char_with_newline_tracks_lines() {
+        // Invalid Rust, but the lexer must never lose line sync on it.
+        let toks = lex("let a = b'\n'; x");
+        let x = toks.iter().find(|t| t.is_ident("x")).expect("x");
+        assert_eq!(x.line, 2, "{toks:?}");
     }
 
     #[test]

@@ -4,26 +4,39 @@
 //! `Cargo.toml`), which rules out clippy lints-with-config, Miri-in-CI and
 //! third-party lint frameworks as enforcement mechanisms for our own
 //! invariants. This crate is the in-repo replacement: a small hand-rolled
-//! Rust tokenizer ([`lexer`]) plus five named rules ([`rules`]) that
-//! encode the repo's unsafe-surface and robustness policy:
+//! Rust tokenizer ([`lexer`]), a structural item/call parser ([`parser`])
+//! and nine named rules ([`rules`]) that encode the repo's unsafe-surface,
+//! robustness and hot-path policy:
 //!
 //! 1. **safety** — every `unsafe` site carries a `// SAFETY:` comment;
 //! 2. **panic** — no `unwrap()/expect(/panic!` in library code;
 //! 3. **bounds** — raw-pointer kernels state contracts via `debug_assert!`;
 //! 4. **knob** — `GANDEF_*` env reads match the `docs/KNOBS.md` registry;
-//! 5. **spawn** — all parallelism goes through `gandef_tensor::pool`.
+//! 5. **spawn** — all parallelism goes through `gandef_tensor::pool`;
+//! 6. **alloc** — no heap allocation inside hot-path loop bodies;
+//! 7. **cast** — lossy numeric casts in kernels are guarded or annotated;
+//! 8. **grad** — every tape push registers a backward closure;
+//! 9. **shape** — public tensor fns assert shapes before indexing.
 //!
-//! Run as `gandef-lint` (no arguments) from the workspace root; see
-//! `scripts/ci.sh` for the CI wiring, including the seeded-fixture
-//! self-test that proves the lint still detects every rule.
+//! On top of the same parser, [`callgraph`] computes **panic
+//! reachability** for the public API; `docs/PANICS.md` is the checked-in
+//! report and `scripts/ci.sh` fails on drift. Run as `gandef-lint` (no
+//! arguments) from the workspace root; see `docs/LINT.md` for the rule
+//! reference and `scripts/ci.sh` for the CI wiring, including the
+//! seeded-fixture self-test that proves the lint still detects every
+//! rule.
 
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
-use rules::{check_file, KnobRead, Rule, Violation};
+use rules::{check_file, FileReport, KnobRead, Rule, Violation};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// What to lint and against which knob registry.
 #[derive(Debug, Clone)]
@@ -57,6 +70,9 @@ pub struct Outcome {
     pub files_checked: usize,
     /// All violations, in path/line order.
     pub violations: Vec<Violation>,
+    /// Per-file wall time in milliseconds, in file order (for
+    /// `--timings`).
+    pub timings: Vec<(String, f64)>,
 }
 
 /// Runs the lint per `cfg`. I/O errors (unreadable root, missing explicit
@@ -76,12 +92,11 @@ pub fn run(cfg: &Config) -> io::Result<Outcome> {
 
     let mut violations = Vec::new();
     let mut reads: Vec<KnobRead> = Vec::new();
-    for path in &files {
-        let src = std::fs::read_to_string(path)?;
-        let display = display_path(path, &cfg.root);
-        let report = check_file(&display, &src, is_lib_code(&display));
+    let mut timings = Vec::with_capacity(files.len());
+    for (display, report, ms) in check_files_parallel(&files, &cfg.root)? {
         violations.extend(report.violations);
         reads.extend(report.knob_reads);
+        timings.push((display, ms));
     }
 
     // Rule `knob`, read direction: every GANDEF_* env read must be a
@@ -123,7 +138,145 @@ pub fn run(cfg: &Config) -> io::Result<Outcome> {
     Ok(Outcome {
         files_checked: files.len(),
         violations,
+        timings,
     })
+}
+
+/// Lints `files` across a bounded scoped worker team, returning per-file
+/// reports **in input order** (parallelism must not perturb diagnostics).
+/// Workers claim files from a shared atomic cursor, so one pathological
+/// file cannot serialize the rest of its chunk.
+fn check_files_parallel(
+    files: &[PathBuf],
+    root: &Path,
+) -> io::Result<Vec<(String, FileReport, f64)>> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(files.len())
+        .max(1);
+    let cursor = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, io::Result<(String, FileReport, f64)>)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    // lint:allow(spawn) — the lint binary cannot depend on
+                    // gandef-tensor's pool (it lints that crate); this is
+                    // a bounded, scoped, joined-on-exit worker team.
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= files.len() {
+                                break;
+                            }
+                            let started = Instant::now();
+                            let display = display_path(&files[i], root);
+                            let result = std::fs::read_to_string(&files[i]).map(|src| {
+                                let report = check_file(&display, &src, is_lib_code(&display));
+                                let ms = started.elapsed().as_secs_f64() * 1e3;
+                                (display.clone(), report, ms)
+                            });
+                            local.push((i, result));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles.into_iter().filter_map(|h| h.join().ok()).collect()
+        });
+    let mut slots: Vec<Option<io::Result<(String, FileReport, f64)>>> = Vec::new();
+    slots.resize_with(files.len(), || None);
+    for (i, result) in per_worker.into_iter().flatten() {
+        slots[i] = Some(result);
+    }
+    let mut out = Vec::with_capacity(files.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(Ok(item)) => out.push(item),
+            Some(Err(e)) => {
+                return Err(io::Error::new(
+                    e.kind(),
+                    format!("{}: {e}", files[i].display()),
+                ))
+            }
+            // Only a panicking worker leaves a hole — surface it as an
+            // I/O error instead of reporting a silently partial lint.
+            None => {
+                return Err(io::Error::other(format!(
+                    "lint worker died before checking {}",
+                    files[i].display()
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Renders an [`Outcome`] as machine-readable JSON (for `--format=json`):
+/// one object with `files_checked` and a `violations` array carrying
+/// `file`, `line`, `rule`, `message` and an `allow_hint` showing the
+/// suppression comment that would silence the site.
+pub fn render_json(outcome: &Outcome) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"files_checked\": {},\n  \"violations\": [",
+        outcome.files_checked
+    ));
+    for (i, v) in outcome.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\", \
+             \"allow_hint\": \"// lint:allow({}) — <reason>\"}}",
+            json_escape(&v.file),
+            v.line,
+            v.rule.name(),
+            json_escape(&v.message),
+            v.rule.name()
+        ));
+    }
+    if !outcome.violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Escapes a string for inclusion in a JSON double-quoted literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Generates the panic-reachability report over the workspace's library
+/// sources (see [`callgraph`]). The result is deterministic and intended
+/// to be written to `docs/PANICS.md`.
+pub fn panic_report(cfg: &Config) -> io::Result<String> {
+    let files = workspace_sources(&cfg.root)?;
+    let mut inputs = Vec::new();
+    for path in &files {
+        let display = display_path(path, &cfg.root);
+        if !is_lib_code(&display) {
+            continue; // bins/tests/examples are not public API surface
+        }
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+        inputs.push((display, src));
+    }
+    Ok(callgraph::panic_report(&inputs))
 }
 
 /// True if `path` is library code for the `panic` rule: not under
@@ -144,14 +297,13 @@ fn display_path(path: &Path, root: &Path) -> String {
     rel.display().to_string().replace('\\', "/")
 }
 
-/// Every `.rs` file under the workspace's `src/` trees: `<root>/src` and
-/// `<root>/crates/*/src`, sorted for deterministic reports.
+/// Every `.rs` file the lint covers: the `src/`, `tests/` and `examples/`
+/// trees of the root package and of each `crates/*` member (which also
+/// picks up `crates/bench/src/bin/`), sorted for deterministic reports.
 pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    const TREES: [&str; 3] = ["src", "tests", "examples"];
     let mut out = Vec::new();
-    let top = root.join("src");
-    if top.is_dir() {
-        collect_rs(&top, &mut out)?;
-    }
+    let mut packages = vec![root.to_path_buf()];
     let crates = root.join("crates");
     if crates.is_dir() {
         let mut members: Vec<PathBuf> = std::fs::read_dir(&crates)?
@@ -159,10 +311,13 @@ pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
             .filter(|p| p.is_dir())
             .collect();
         members.sort();
-        for member in members {
-            let src = member.join("src");
-            if src.is_dir() {
-                collect_rs(&src, &mut out)?;
+        packages.extend(members);
+    }
+    for package in packages {
+        for tree in TREES {
+            let dir = package.join(tree);
+            if dir.is_dir() {
+                collect_rs(&dir, &mut out)?;
             }
         }
     }

@@ -4,12 +4,26 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: gandef-lint [--root DIR] [--knobs FILE] [FILES...]\n\
-  With no FILES, walks every `src/` tree of the workspace under --root\n\
-  (default `.`). Exit codes: 0 clean, 1 violations, 2 usage/I-O error.";
+const USAGE: &str = "usage: gandef-lint [--root DIR] [--knobs FILE] [--format text|json]\n\
+                    \x20                  [--timings] [--panics FILE] [FILES...]\n\
+  With no FILES, walks every `src/`, `tests/` and `examples/` tree of the\n\
+  workspace under --root (default `.`).\n\
+  --format json   machine-readable violation report on stdout\n\
+  --timings       per-file wall time on stderr, slowest first\n\
+  --panics FILE   write the panic-reachability report (docs/PANICS.md) to\n\
+                  FILE instead of linting\n\
+  Exit codes: 0 clean, 1 violations, 2 usage/I-O error.";
+
+enum Format {
+    Text,
+    Json,
+}
 
 fn main() -> ExitCode {
     let mut cfg = gandef_lint::Config::workspace(".");
+    let mut format = Format::Text;
+    let mut timings = false;
+    let mut panics_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -21,6 +35,21 @@ fn main() -> ExitCode {
                 Some(file) => cfg.knobs = Some(PathBuf::from(file)),
                 None => return usage_error("--knobs requires a file"),
             },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some(other) => {
+                    return usage_error(&format!("unknown format `{other}` (text|json)"))
+                }
+                None => return usage_error("--format requires text|json"),
+            },
+            "--format=text" => format = Format::Text,
+            "--format=json" => format = Format::Json,
+            "--timings" => timings = true,
+            "--panics" => match args.next() {
+                Some(file) => panics_out = Some(PathBuf::from(file)),
+                None => return usage_error("--panics requires an output file"),
+            },
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -31,24 +60,60 @@ fn main() -> ExitCode {
             file => cfg.files.push(PathBuf::from(file)),
         }
     }
-    match gandef_lint::run(&cfg) {
-        Ok(outcome) if outcome.violations.is_empty() => {
-            println!(
-                "gandef-lint: OK — {} files, 0 violations",
-                outcome.files_checked
-            );
-            ExitCode::SUCCESS
-        }
-        Ok(outcome) => {
-            for v in &outcome.violations {
-                eprintln!("{v}");
+
+    if let Some(path) = panics_out {
+        return match gandef_lint::panic_report(&cfg)
+            .and_then(|report| std::fs::write(&path, report.as_bytes()).map(|()| report))
+        {
+            Ok(report) => {
+                let rows = report.lines().filter(|l| l.starts_with("| `")).count();
+                println!(
+                    "gandef-lint: wrote {} ({} panic-reachable public fn(s))",
+                    path.display(),
+                    rows
+                );
+                ExitCode::SUCCESS
             }
-            eprintln!(
-                "gandef-lint: {} violation(s) in {} file(s) checked",
-                outcome.violations.len(),
-                outcome.files_checked
-            );
-            ExitCode::FAILURE
+            Err(e) => {
+                eprintln!("gandef-lint: error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match gandef_lint::run(&cfg) {
+        Ok(outcome) => {
+            if timings {
+                let mut by_cost = outcome.timings.clone();
+                by_cost.sort_by(|a, b| b.1.total_cmp(&a.1));
+                let total: f64 = by_cost.iter().map(|(_, ms)| ms).sum();
+                for (file, ms) in &by_cost {
+                    eprintln!("{ms:9.3} ms  {file}");
+                }
+                eprintln!("{total:9.3} ms  total ({} files)", by_cost.len());
+            }
+            match format {
+                Format::Json => print!("{}", gandef_lint::render_json(&outcome)),
+                Format::Text if outcome.violations.is_empty() => println!(
+                    "gandef-lint: OK — {} files, 0 violations",
+                    outcome.files_checked
+                ),
+                Format::Text => {
+                    for v in &outcome.violations {
+                        eprintln!("{v}");
+                    }
+                    eprintln!(
+                        "gandef-lint: {} violation(s) in {} file(s) checked",
+                        outcome.violations.len(),
+                        outcome.files_checked
+                    );
+                }
+            }
+            if outcome.violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("gandef-lint: error: {e}");

@@ -12,6 +12,10 @@
 //! itself rejected. The rules (see `docs/KNOBS.md` and DESIGN.md "Static
 //! analysis & unsafe audit" for the policy rationale):
 //!
+//! The token-stream rules live in this module; the parse-tree rules
+//! (`alloc`, `cast`, `grad`, `shape`) live in [`semantic`] and run over
+//! [`crate::parser`]'s output. See `docs/LINT.md` for the full reference.
+//!
 //! | rule     | invariant |
 //! |----------|-----------|
 //! | `safety` | every `unsafe` block/fn/impl is directly preceded by a `// SAFETY:` comment (or a `# Safety` doc section) within its own statement/item |
@@ -19,6 +23,12 @@
 //! | `bounds` | raw-pointer kernel entry points (`from_raw_parts*`, `get_unchecked*`, `_mm*` loads/stores) live in functions that state a bounds contract via `debug_assert!` |
 //! | `knob`   | every `std::env::var("GANDEF_*")` read is declared in the `docs/KNOBS.md` registry (and every registry row is read somewhere) |
 //! | `spawn`  | no `thread::spawn` / `Builder::spawn` outside `pool.rs` — all parallelism goes through the worker pool |
+//! | `alloc`  | no `Vec::new` / `vec!` / `.to_vec()` / `.collect()` / `.clone()` inside loop bodies of hot-path modules |
+//! | `cast`   | lossy casts (f64→f32, u64/i64→usize/i32) in kernel fns need a `debug_assert!`/`try_from` guard or an annotation |
+//! | `grad`   | every tape push in `autodiff::ops` registers a backward closure (`None` backward = no input gradients for attacks) |
+//! | `shape`  | public `Tensor`-returning fns in `gandef-tensor` state a shape `assert!` before their first index expression |
+
+pub mod semantic;
 
 use crate::lexer::{lex, TokKind, Token};
 
@@ -35,6 +45,14 @@ pub enum Rule {
     Knob,
     /// Thread spawn outside the worker pool.
     Spawn,
+    /// Heap allocation inside a hot-path loop body.
+    Alloc,
+    /// Unguarded lossy numeric cast in a kernel fn.
+    Cast,
+    /// Tape push without a backward closure.
+    Grad,
+    /// Public tensor fn indexing before any shape assertion.
+    Shape,
 }
 
 impl Rule {
@@ -46,16 +64,24 @@ impl Rule {
             Rule::Bounds => "bounds",
             Rule::Knob => "knob",
             Rule::Spawn => "spawn",
+            Rule::Alloc => "alloc",
+            Rule::Cast => "cast",
+            Rule::Grad => "grad",
+            Rule::Shape => "shape",
         }
     }
 
     /// All rules, for self-tests and reporting.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 9] = [
         Rule::Safety,
         Rule::Panic,
         Rule::Bounds,
         Rule::Knob,
         Rule::Spawn,
+        Rule::Alloc,
+        Rule::Cast,
+        Rule::Grad,
+        Rule::Shape,
     ];
 }
 
@@ -122,6 +148,7 @@ pub fn check_file(file: &str, src: &str, is_lib: bool) -> FileReport {
     ctx.rule_bounds(&mut report);
     ctx.collect_knob_reads(&mut report);
     ctx.rule_spawn(&mut report);
+    semantic::check(file, &toks, &mut report);
     report
 }
 
@@ -186,24 +213,7 @@ impl<'a> FileCtx<'a> {
     /// on `line` or in the contiguous comment block directly above it (so
     /// a multi-line justification can wrap freely).
     fn suppressed(&self, line: usize, rule: Rule) -> bool {
-        let pat = format!("lint:allow({})", rule.name());
-        let allow_on = |l: usize| {
-            self.comments
-                .iter()
-                .any(|&(cl, text)| cl == l && allow_has_reason(text, &pat))
-        };
-        if allow_on(line) {
-            return true;
-        }
-        let is_comment_line = |l: usize| self.comments.iter().any(|&(cl, _)| cl == l);
-        let mut l = line;
-        while l > 1 && is_comment_line(l - 1) {
-            l -= 1;
-            if allow_on(l) {
-                return true;
-            }
-        }
-        false
+        suppressed_at(&self.comments, line, rule)
     }
 
     fn in_test_span(&self, p: usize) -> bool {
@@ -563,6 +573,31 @@ fn string_content(text: &str) -> &str {
         Some(close) => &inner[..close],
         None => inner,
     }
+}
+
+/// True if a `lint:allow(<rule>)` comment with a non-empty reason sits on
+/// `line` or in the contiguous comment block directly above it. Shared by
+/// the token rules ([`FileCtx`]), the semantic rules and the panic
+/// reachability pass.
+pub(crate) fn suppressed_at(comments: &[(usize, &str)], line: usize, rule: Rule) -> bool {
+    let pat = format!("lint:allow({})", rule.name());
+    let allow_on = |l: usize| {
+        comments
+            .iter()
+            .any(|&(cl, text)| cl == l && allow_has_reason(text, &pat))
+    };
+    if allow_on(line) {
+        return true;
+    }
+    let is_comment_line = |l: usize| comments.iter().any(|&(cl, _)| cl == l);
+    let mut l = line;
+    while l > 1 && is_comment_line(l - 1) {
+        l -= 1;
+        if allow_on(l) {
+            return true;
+        }
+    }
+    false
 }
 
 /// True if `text` contains `pat` (a `lint:allow(<rule>)` marker) followed

@@ -1,10 +1,11 @@
-//! Lint self-tests: the seeded fixture must trip every rule, and the real
-//! workspace must be clean. Keeping the second check in `cargo test`
-//! means tier-1 CI enforces the invariants even before `scripts/ci.sh`
-//! runs the dedicated lint stage.
+//! Lint self-tests: the seeded fixtures must trip every rule, the real
+//! workspace must be clean, and the checked-in panic-reachability report
+//! must match a fresh run. Keeping these checks in `cargo test` means
+//! tier-1 CI enforces the invariants even before `scripts/ci.sh` runs the
+//! dedicated lint stage.
 
 use gandef_lint::rules::Rule;
-use gandef_lint::{run, Config};
+use gandef_lint::{panic_report, render_json, run, Config};
 use std::path::{Path, PathBuf};
 
 fn workspace_root() -> PathBuf {
@@ -15,17 +16,20 @@ fn workspace_root() -> PathBuf {
 }
 
 #[test]
-fn seeded_fixture_trips_every_rule_exactly_once() {
+fn seeded_fixtures_trip_every_rule_exactly_once() {
     let root = workspace_root();
     let mut cfg = Config::workspace(&root);
-    cfg.files = vec![root.join("crates/lint/fixtures/seeded.rs")];
+    cfg.files = vec![
+        root.join("crates/lint/fixtures/seeded.rs"),
+        root.join("crates/lint/fixtures/seeded_semantic.rs"),
+    ];
     let outcome = run(&cfg).expect("lint run");
     for rule in Rule::ALL {
         let count = outcome.violations.iter().filter(|v| v.rule == rule).count();
         assert_eq!(
             count,
             1,
-            "rule `{}` fired {count} times on the seeded fixture (want exactly 1):\n{}",
+            "rule `{}` fired {count} times on the seeded fixtures (want exactly 1):\n{}",
             rule.name(),
             render(&outcome.violations)
         );
@@ -47,6 +51,61 @@ fn workspace_is_clean() {
         "workspace has lint violations:\n{}",
         render(&outcome.violations)
     );
+    // The walker covers the integration-test and example trees too
+    // (the hot-path rules apply there as well).
+    assert_eq!(outcome.timings.len(), outcome.files_checked);
+}
+
+#[test]
+fn walker_covers_tests_and_examples() {
+    let root = workspace_root();
+    let files = gandef_lint::workspace_sources(&root).expect("walk");
+    let has = |needle: &str| {
+        files
+            .iter()
+            .any(|p| p.display().to_string().replace('\\', "/").contains(needle))
+    };
+    assert!(has("/tests/"), "workspace walk misses tests/");
+    assert!(has("/examples/"), "workspace walk misses examples/");
+    assert!(
+        has("/src/bin/"),
+        "workspace walk misses crates/bench/src/bin/"
+    );
+}
+
+#[test]
+fn panics_report_is_in_sync() {
+    let root = workspace_root();
+    let fresh = panic_report(&Config::workspace(&root)).expect("panic report");
+    let checked_in = std::fs::read_to_string(root.join("docs/PANICS.md"))
+        .expect("docs/PANICS.md — regenerate with `gandef-lint --panics docs/PANICS.md`");
+    assert_eq!(
+        fresh.trim(),
+        checked_in.trim(),
+        "docs/PANICS.md is stale: a public panic path changed. Review the new \
+         paths, then regenerate with `./target/release/gandef-lint --panics docs/PANICS.md`"
+    );
+}
+
+#[test]
+fn json_format_names_all_fixture_rules() {
+    let root = workspace_root();
+    let mut cfg = Config::workspace(&root);
+    cfg.files = vec![
+        root.join("crates/lint/fixtures/seeded.rs"),
+        root.join("crates/lint/fixtures/seeded_semantic.rs"),
+    ];
+    let outcome = run(&cfg).expect("lint run");
+    let json = render_json(&outcome);
+    for rule in Rule::ALL {
+        assert!(
+            json.contains(&format!("\"rule\": \"{}\"", rule.name())),
+            "JSON output misses rule `{}`:\n{json}",
+            rule.name()
+        );
+    }
+    assert!(json.contains("\"files_checked\": 2"), "{json}");
+    assert!(json.contains("allow_hint"), "{json}");
 }
 
 #[test]

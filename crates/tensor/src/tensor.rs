@@ -206,6 +206,8 @@ impl Tensor {
         let mut data = vec![0.0f32; src.len()];
         pool::parallel_for_mut(&mut data, 1, ELEMENTWISE_GRAIN, |start, chunk| {
             for (i, v) in chunk.iter_mut().enumerate() {
+                // lint:allow(shape) — unary elementwise: `data` is sized
+                // from `src`, so `start + i < src.len()` by construction.
                 *v = f(src[start + i]);
             }
         });
@@ -367,6 +369,8 @@ impl Tensor {
             let mut data = vec![0.0f32; a.len()];
             pool::parallel_for_mut(&mut data, 1, ELEMENTWISE_GRAIN, |start, chunk| {
                 for (i, v) in chunk.iter_mut().enumerate() {
+                    // lint:allow(shape) — guarded by the `shape == shape`
+                    // branch above; `data` is sized from `a`.
                     *v = f(a[start + i], b[start + i]);
                 }
             });

@@ -4,9 +4,11 @@
 #   scripts/ci.sh
 #
 # Steps: format check, release build, full test suite, the gandef-lint
-# static-analysis gate (zero violations in the workspace, plus a
-# self-test proving the lint still detects every rule on a seeded
-# fixture), a smoke run of the kernel micro-benchmarks gated against the
+# static-analysis gate (zero violations in the workspace, a self-test
+# proving the lint still detects every rule on the seeded fixtures, and
+# a drift check of the panic-reachability report docs/PANICS.md — see
+# the regeneration note at that stage), a smoke run of the kernel
+# micro-benchmarks gated against the
 # checked-in BENCH_tensor.json (bench_diff; writes BENCH_smoke.json to a
 # temp dir so the checked-in file is never clobbered), the numerics
 # audit (the f64-accumulation kernel oracle must be byte-identical
@@ -36,17 +38,20 @@ cargo test -q --workspace
 echo "==> gandef-lint (workspace must be clean)"
 ./target/release/gandef-lint
 
-echo "==> gandef-lint self-test (seeded fixture must trip every rule)"
-# The fixture holds exactly one violation per rule; the lint must exit
+echo "==> gandef-lint self-test (seeded fixtures must trip every rule)"
+# The fixtures hold exactly one violation per rule (token rules in
+# seeded.rs, parse-tree rules in seeded_semantic.rs); the lint must exit
 # nonzero and report each rule by name, or the gate above is meaningless.
 fixture_out="$(mktemp)"
-if ./target/release/gandef-lint crates/lint/fixtures/seeded.rs >"$fixture_out" 2>&1; then
-    echo "FAIL: gandef-lint exited 0 on the seeded fixture"
+if ./target/release/gandef-lint \
+    crates/lint/fixtures/seeded.rs \
+    crates/lint/fixtures/seeded_semantic.rs >"$fixture_out" 2>&1; then
+    echo "FAIL: gandef-lint exited 0 on the seeded fixtures"
     cat "$fixture_out"
     rm -f "$fixture_out"
     exit 1
 fi
-for rule in safety panic bounds knob spawn; do
+for rule in safety panic bounds knob spawn alloc cast grad shape; do
     if ! grep -q "\[$rule\]" "$fixture_out"; then
         echo "FAIL: gandef-lint did not detect seeded rule [$rule]"
         cat "$fixture_out"
@@ -55,7 +60,24 @@ for rule in safety panic bounds knob spawn; do
     fi
 done
 rm -f "$fixture_out"
-echo "self-test OK: all 5 rules detected"
+echo "self-test OK: all 9 rules detected"
+
+echo "==> gandef-lint --panics (docs/PANICS.md must be current)"
+# docs/PANICS.md is the checked-in panic-reachability report for the
+# public API. A diff here means a change added or removed a public panic
+# path: review the fresh report, then regenerate the checked-in copy with
+#   ./target/release/gandef-lint --panics docs/PANICS.md
+# and commit it alongside the change that moved the panic surface.
+fresh_panics="$(mktemp)"
+./target/release/gandef-lint --panics "$fresh_panics" >/dev/null
+if ! diff -u docs/PANICS.md "$fresh_panics"; then
+    echo "FAIL: docs/PANICS.md is stale — the public panic surface moved."
+    echo "Regenerate with: ./target/release/gandef-lint --panics docs/PANICS.md"
+    rm -f "$fresh_panics"
+    exit 1
+fi
+rm -f "$fresh_panics"
+echo "panic report OK: docs/PANICS.md matches a fresh run"
 
 echo "==> bench_kernels --smoke + bench_diff"
 out="$(mktemp -d)"
