@@ -3,6 +3,70 @@
 use gandef_attack::AttackBudget;
 use gandef_data::DatasetKind;
 use gandef_tensor::accum::Accum;
+use std::path::PathBuf;
+
+/// Checkpointing policy for a training run: where run state goes, how
+/// often it is written, and whether an existing state resumes the run.
+#[derive(Clone, Debug)]
+pub struct CheckpointPolicy {
+    /// Checkpoint directory. Holds one `run_state.gnrs` plus a `.gndf`
+    /// weights file per parameter store (e.g. `model.gndf`, `disc.gndf`).
+    pub dir: PathBuf,
+    /// Write a checkpoint every `every` epochs (and always after the
+    /// final one). Default: 1.
+    pub every: usize,
+    /// Whether a readable run state in `dir` resumes training from its
+    /// epoch instead of starting over. Default: true.
+    pub resume: bool,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoints into `dir` after every epoch, resuming if state exists.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointPolicy {
+            dir: dir.into(),
+            every: 1,
+            resume: true,
+        }
+    }
+
+    /// Returns a copy checkpointing every `every` epochs (≥ 1).
+    pub fn every(mut self, every: usize) -> Self {
+        self.every = every.max(1);
+        self
+    }
+
+    /// Returns a copy that ignores existing state (always starts fresh).
+    pub fn fresh(mut self) -> Self {
+        self.resume = false;
+        self
+    }
+}
+
+/// Divergence-guard policy: when an epoch's mean loss goes non-finite or
+/// spikes, roll back to the last good run state, back off the learning
+/// rate, and retry — up to a budget.
+#[derive(Clone, Debug)]
+pub struct GuardPolicy {
+    /// Total rollback attempts per run before the guard stops training at
+    /// the last good state. `0` disables the guard.
+    pub max_retries: usize,
+    /// A finite loss is a spike when it exceeds the previous epoch's loss
+    /// by more than `spike_factor · (|prev| + 1)`.
+    pub spike_factor: f32,
+    /// Multiplier applied to every optimizer's learning rate on rollback.
+    pub lr_backoff: f32,
+}
+
+impl Default for GuardPolicy {
+    fn default() -> Self {
+        GuardPolicy {
+            max_retries: 3,
+            spike_factor: 4.0,
+            lr_backoff: 0.5,
+        }
+    }
+}
 
 /// Hyper-parameters for one defense-training run.
 ///
@@ -46,6 +110,10 @@ pub struct TrainConfig {
     /// set). [`Accum::F64`] makes the whole training trajectory
     /// independent of kernel tiling, thread count and FMA availability.
     pub accum: Option<Accum>,
+    /// Crash-safe checkpointing (`None` = no checkpoints, no resume).
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Divergence guard settings (rollback + learning-rate backoff).
+    pub guard: GuardPolicy,
 }
 
 impl TrainConfig {
@@ -75,6 +143,8 @@ impl TrainConfig {
             budget,
             pool_threads: 0,
             accum: None,
+            checkpoint: None,
+            guard: GuardPolicy::default(),
         }
     }
 
@@ -117,6 +187,25 @@ impl TrainConfig {
     /// Returns a copy with an explicit accumulation precision.
     pub fn with_accum(mut self, accum: Accum) -> Self {
         self.accum = Some(accum);
+        self
+    }
+
+    /// Returns a copy that checkpoints into (and resumes from) `dir`
+    /// after every epoch.
+    pub fn with_checkpoint(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.checkpoint = Some(CheckpointPolicy::new(dir));
+        self
+    }
+
+    /// Returns a copy with an explicit checkpoint policy.
+    pub fn with_checkpoint_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+
+    /// Returns a copy with an explicit divergence-guard policy.
+    pub fn with_guard(mut self, guard: GuardPolicy) -> Self {
+        self.guard = guard;
         self
     }
 }

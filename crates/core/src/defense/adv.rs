@@ -8,7 +8,7 @@
 //!   knowledge defense, and the paper's training-time pain point
 //!   (Figure 5).
 
-use super::{timed_epoch, Defense, TrainReport};
+use super::{timed_epoch, Defense, EpochOutcome, RunDriver, RunParts, TrainReport};
 use crate::TrainConfig;
 use gandef_attack::{Attack, Fgsm, Pgd};
 use gandef_data::{batches, Dataset};
@@ -77,7 +77,16 @@ impl Defense for AdvTraining {
         let classes = ds.kind.classes();
         let mut opt = Adam::new(cfg.lr);
         let mut report = TrainReport::new(self.name());
-        for _ in 0..cfg.epochs {
+        let (mut driver, mut epoch) = RunDriver::begin(
+            cfg,
+            RunParts {
+                stores: vec![("model", &mut net.params)],
+                optims: vec![("opt", &mut opt)],
+                rng: &mut *rng,
+            },
+            &mut report,
+        );
+        while epoch < cfg.epochs {
             let (secs, loss) = timed_epoch(|| {
                 let mut loss_sum = 0.0;
                 let mut batches_seen = 0;
@@ -108,8 +117,20 @@ impl Defense for AdvTraining {
                 }
                 loss_sum / batches_seen.max(1) as f32
             });
-            report.epoch_seconds.push(secs);
-            report.epoch_losses.push(loss);
+            match driver.after_epoch(
+                epoch,
+                secs,
+                loss,
+                RunParts {
+                    stores: vec![("model", &mut net.params)],
+                    optims: vec![("opt", &mut opt)],
+                    rng: &mut *rng,
+                },
+                &mut report,
+            ) {
+                EpochOutcome::Next(e) => epoch = e,
+                EpochOutcome::Stop => break,
+            }
         }
         report
     }

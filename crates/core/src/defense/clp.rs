@@ -11,7 +11,7 @@
 //! other. §V-D of the paper shows this design is too rigid: on the complex
 //! dataset the training loss diverges to NaN.
 
-use super::{timed_epoch, Defense, TrainReport};
+use super::{timed_epoch, Defense, EpochOutcome, RunDriver, RunParts, TrainReport};
 use crate::TrainConfig;
 use gandef_data::{batches, preprocess, Dataset};
 use gandef_nn::optim::{Adam, Optimizer};
@@ -32,7 +32,16 @@ impl Defense for Clp {
         let classes = ds.kind.classes();
         let mut opt = Adam::new(cfg.lr);
         let mut report = TrainReport::new(self.name());
-        for _ in 0..cfg.epochs {
+        let (mut driver, mut epoch) = RunDriver::begin(
+            cfg,
+            RunParts {
+                stores: vec![("model", &mut net.params)],
+                optims: vec![("opt", &mut opt)],
+                rng: &mut *rng,
+            },
+            &mut report,
+        );
+        while epoch < cfg.epochs {
             let (secs, loss) = timed_epoch(|| {
                 let mut loss_sum = 0.0;
                 let mut batches_seen = 0;
@@ -74,8 +83,20 @@ impl Defense for Clp {
                 }
                 loss_sum / batches_seen.max(1) as f32
             });
-            report.epoch_seconds.push(secs);
-            report.epoch_losses.push(loss);
+            match driver.after_epoch(
+                epoch,
+                secs,
+                loss,
+                RunParts {
+                    stores: vec![("model", &mut net.params)],
+                    optims: vec![("opt", &mut opt)],
+                    rng: &mut *rng,
+                },
+                &mut report,
+            ) {
+                EpochOutcome::Next(e) => epoch = e,
+                EpochOutcome::Stop => break,
+            }
         }
         report
     }

@@ -12,7 +12,7 @@
 //! flat on the complex dataset under the paper's `(σ = 1, λ = 0.4)`
 //! setting.
 
-use super::{timed_epoch, Defense, TrainReport};
+use super::{timed_epoch, Defense, EpochOutcome, RunDriver, RunParts, TrainReport};
 use crate::TrainConfig;
 use gandef_data::{batches, preprocess, Dataset};
 use gandef_nn::optim::{Adam, Optimizer};
@@ -33,7 +33,16 @@ impl Defense for Cls {
         let classes = ds.kind.classes();
         let mut opt = Adam::new(cfg.lr);
         let mut report = TrainReport::new(self.name());
-        for _ in 0..cfg.epochs {
+        let (mut driver, mut epoch) = RunDriver::begin(
+            cfg,
+            RunParts {
+                stores: vec![("model", &mut net.params)],
+                optims: vec![("opt", &mut opt)],
+                rng: &mut *rng,
+            },
+            &mut report,
+        );
+        while epoch < cfg.epochs {
             let (secs, loss) = timed_epoch(|| {
                 let mut loss_sum = 0.0;
                 let mut batches_seen = 0;
@@ -57,8 +66,20 @@ impl Defense for Cls {
                 }
                 loss_sum / batches_seen.max(1) as f32
             });
-            report.epoch_seconds.push(secs);
-            report.epoch_losses.push(loss);
+            match driver.after_epoch(
+                epoch,
+                secs,
+                loss,
+                RunParts {
+                    stores: vec![("model", &mut net.params)],
+                    optims: vec![("opt", &mut opt)],
+                    rng: &mut *rng,
+                },
+                &mut report,
+            ) {
+                EpochOutcome::Next(e) => epoch = e,
+                EpochOutcome::Stop => break,
+            }
         }
         report
     }

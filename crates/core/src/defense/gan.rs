@@ -23,7 +23,7 @@
 //!   current classifier each batch. Full knowledge; the paper's strongest
 //!   GAN baseline.
 
-use super::{timed_epoch, Defense, TrainReport};
+use super::{timed_epoch, Defense, EpochOutcome, RunDriver, RunParts, TrainReport};
 use crate::TrainConfig;
 use gandef_attack::{Attack, Pgd};
 use gandef_data::{batches, preprocess, Dataset};
@@ -158,7 +158,20 @@ impl Defense for GanDef {
         // classification); letting CE win first makes that point
         // unattractive. Standard GAN stabilization; see DESIGN.md §7.
         let warmup = (cfg.epochs / 4).max(1);
-        for epoch in 0..cfg.epochs {
+        // Both networks and both optimizers are run state: a resumed
+        // minimax game must pick up the *co-trained* discriminator, or the
+        // classifier faces an opponent from the wrong point in the game.
+        // γ needs no capture — it is derived from the epoch index below.
+        let (mut driver, mut epoch) = RunDriver::begin(
+            cfg,
+            RunParts {
+                stores: vec![("model", &mut net.params), ("disc", &mut disc.params)],
+                optims: vec![("opt_c", &mut opt_c), ("opt_d", &mut opt_d)],
+                rng: &mut *rng,
+            },
+            &mut report,
+        );
+        while epoch < cfg.epochs {
             let gamma = cfg.gamma * ((epoch as f32 + 1.0) / warmup as f32).min(1.0);
             let (secs, loss) = timed_epoch(|| {
                 let mut loss_sum = 0.0;
@@ -235,8 +248,20 @@ impl Defense for GanDef {
                 }
                 loss_sum / batches_seen.max(1) as f32
             });
-            report.epoch_seconds.push(secs);
-            report.epoch_losses.push(loss);
+            match driver.after_epoch(
+                epoch,
+                secs,
+                loss,
+                RunParts {
+                    stores: vec![("model", &mut net.params), ("disc", &mut disc.params)],
+                    optims: vec![("opt_c", &mut opt_c), ("opt_d", &mut opt_d)],
+                    rng: &mut *rng,
+                },
+                &mut report,
+            ) {
+                EpochOutcome::Next(e) => epoch = e,
+                EpochOutcome::Stop => break,
+            }
         }
         report.discriminator = Some(disc);
         report

@@ -15,12 +15,14 @@ mod adv;
 mod clp;
 mod cls;
 mod gan;
+mod resume;
 mod vanilla;
 
 pub use adv::AdvTraining;
 pub use clp::Clp;
 pub use cls::Cls;
 pub use gan::{GanDef, NoiseKind};
+pub use resume::{EpochOutcome, RunDriver, RunParts};
 pub use vanilla::Vanilla;
 
 use crate::TrainConfig;
@@ -39,6 +41,48 @@ pub trait Defense {
     fn train(&self, net: &mut Net, ds: &Dataset, cfg: &TrainConfig, rng: &mut Prng) -> TrainReport;
 }
 
+/// A noteworthy run-control event during training: resume, divergence
+/// rollback, guard stop, or a failed (but survivable) checkpoint write.
+/// Recorded in [`TrainReport::events`] so harnesses and tests can see
+/// exactly how a run reached its final state.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunEvent {
+    /// Training resumed from a checkpoint at this epoch index.
+    Resumed {
+        /// Epoch the run continued from (completed epochs so far).
+        epoch: usize,
+    },
+    /// A checkpoint existed but could not be used; the run started fresh.
+    ResumeFailed {
+        /// Why the checkpoint was rejected.
+        error: String,
+    },
+    /// The divergence guard rolled the run back to the last good state.
+    Rollback {
+        /// Epoch whose loss tripped the guard.
+        epoch: usize,
+        /// The divergent loss value.
+        loss: f32,
+        /// Epoch the run state was rolled back to.
+        to_epoch: usize,
+        /// Learning rate after backoff.
+        lr: f32,
+    },
+    /// The guard exhausted its retries; training stopped at the last good
+    /// state.
+    GuardStop {
+        /// Epoch at which the final divergence occurred.
+        epoch: usize,
+    },
+    /// A periodic checkpoint write failed; training continued.
+    CheckpointFailed {
+        /// Completed-epoch count the write was for.
+        epoch: usize,
+        /// The underlying error.
+        error: String,
+    },
+}
+
 /// Per-epoch record of a defense-training run: the raw material behind
 /// Figure 5 (training time per epoch; loss convergence traces).
 #[derive(Debug)]
@@ -52,6 +96,9 @@ pub struct TrainReport {
     /// The trained discriminator, for GAN defenses (used by
     /// [`crate::analysis`]).
     pub discriminator: Option<Net>,
+    /// Run-control events: resume, rollbacks, guard stops, checkpoint
+    /// failures. Empty for an uneventful run.
+    pub events: Vec<RunEvent>,
 }
 
 impl TrainReport {
@@ -61,6 +108,7 @@ impl TrainReport {
             epoch_seconds: Vec::new(),
             epoch_losses: Vec::new(),
             discriminator: None,
+            events: Vec::new(),
         }
     }
 

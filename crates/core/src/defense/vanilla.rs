@@ -1,6 +1,6 @@
 //! The undefended baseline: plain supervised training on clean images.
 
-use super::{timed_epoch, Defense, TrainReport};
+use super::{timed_epoch, Defense, EpochOutcome, RunDriver, RunParts, TrainReport};
 use crate::TrainConfig;
 use gandef_data::{batches, Dataset};
 use gandef_nn::optim::{Adam, Optimizer};
@@ -22,7 +22,16 @@ impl Defense for Vanilla {
         let classes = ds.kind.classes();
         let mut opt = Adam::new(cfg.lr);
         let mut report = TrainReport::new(self.name());
-        for _ in 0..cfg.epochs {
+        let (mut driver, mut epoch) = RunDriver::begin(
+            cfg,
+            RunParts {
+                stores: vec![("model", &mut net.params)],
+                optims: vec![("opt", &mut opt)],
+                rng: &mut *rng,
+            },
+            &mut report,
+        );
+        while epoch < cfg.epochs {
             let (secs, loss) = timed_epoch(|| {
                 let mut loss_sum = 0.0;
                 let mut batches_seen = 0;
@@ -38,8 +47,20 @@ impl Defense for Vanilla {
                 }
                 loss_sum / batches_seen as f32
             });
-            report.epoch_seconds.push(secs);
-            report.epoch_losses.push(loss);
+            match driver.after_epoch(
+                epoch,
+                secs,
+                loss,
+                RunParts {
+                    stores: vec![("model", &mut net.params)],
+                    optims: vec![("opt", &mut opt)],
+                    rng: &mut *rng,
+                },
+                &mut report,
+            ) {
+                EpochOutcome::Next(e) => epoch = e,
+                EpochOutcome::Stop => break,
+            }
         }
         report
     }

@@ -58,7 +58,7 @@ pub mod report;
 
 mod config;
 
-pub use config::TrainConfig;
+pub use config::{CheckpointPolicy, GuardPolicy, TrainConfig};
 
 use gandef_data::DatasetKind;
 use gandef_nn::{zoo, Net};

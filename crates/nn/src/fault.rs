@@ -1,0 +1,244 @@
+//! Fault injection for the checkpoint I/O path.
+//!
+//! Crash-safety claims are only as good as the crashes they were tested
+//! against, so every interruptible operation in the checkpoint writers
+//! ([`crate::serialize::save_params`], [`crate::run_state::RunState::save`])
+//! passes through an *injection point*. The `GANDEF_FAULT` environment
+//! knob (registered in `docs/KNOBS.md`) arms at most one fault per
+//! process:
+//!
+//! ```text
+//! GANDEF_FAULT=<kind>:<site>:<n>
+//!
+//! io-fail:save_params:3   # the 3rd I/O point inside save_params calls
+//!                         # returns an injected io::Error
+//! kill:save_state:5       # the process aborts (SIGABRT, no cleanup) at
+//!                         # the 5th I/O point inside RunState::save
+//! kill:epoch:2            # the process aborts right after training
+//!                         # epoch 2 completes (checkpoint included)
+//! ```
+//!
+//! `scripts/ci.sh` sweeps `kill` over every I/O point of a small training
+//! run in a child process and asserts the on-disk checkpoint still loads
+//! as either the previous or the new complete state — never as silently
+//! accepted corruption.
+//!
+//! In-process tests arm a fault for one closure with [`with_fault`]; the
+//! override is thread-local, so parallel tests do not interfere.
+
+use std::cell::RefCell;
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// What an armed fault does when its trigger point is reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The I/O point returns an injected [`io::Error`] instead of
+    /// proceeding — models a full disk or a failing device.
+    IoFail,
+    /// The process aborts on the spot (`SIGABRT`, no destructors, no
+    /// buffered-writer flush) — models a crash or power loss.
+    Kill,
+}
+
+/// A parsed `GANDEF_FAULT` specification: `<kind>:<site>:<n>` with a
+/// 1-based trigger ordinal `n`.
+#[derive(Clone, Debug)]
+pub struct FaultSpec {
+    /// What happens at the trigger point.
+    pub kind: FaultKind,
+    /// Injection-site name the fault is armed for (`save_params`,
+    /// `save_state`, `epoch`).
+    pub site: String,
+    /// 1-based ordinal of the matching point that triggers the fault.
+    pub at: usize,
+}
+
+impl FaultSpec {
+    /// Parses a `<kind>:<site>:<n>` specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the malformed field.
+    pub fn parse(spec: &str) -> Result<FaultSpec, String> {
+        let mut parts = spec.splitn(3, ':');
+        let kind = match parts.next() {
+            Some("io-fail") => FaultKind::IoFail,
+            Some("kill") => FaultKind::Kill,
+            other => return Err(format!("unknown fault kind {other:?} (io-fail | kill)")),
+        };
+        let site = match parts.next() {
+            Some(s) if !s.is_empty() => s.to_string(),
+            _ => return Err("missing fault site".into()),
+        };
+        let at = match parts.next().map(str::parse::<usize>) {
+            Some(Ok(n)) if n > 0 => n,
+            _ => return Err("fault ordinal must be a positive integer".into()),
+        };
+        Ok(FaultSpec { kind, site, at })
+    }
+}
+
+/// The process-wide fault armed via `GANDEF_FAULT`, parsed once.
+static ENV_SPEC: OnceLock<Option<FaultSpec>> = OnceLock::new();
+/// Matching I/O points seen so far by the env-armed fault.
+static ENV_HITS: AtomicUsize = AtomicUsize::new(0);
+/// All I/O points seen process-wide — the crash harness reports this so
+/// the CI sweep knows how many kill positions exist.
+static TOTAL_POINTS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static LOCAL: RefCell<Option<ActiveFault>> = const { RefCell::new(None) };
+}
+
+struct ActiveFault {
+    spec: FaultSpec,
+    hits: usize,
+}
+
+fn env_spec() -> Option<&'static FaultSpec> {
+    ENV_SPEC
+        .get_or_init(|| match std::env::var("GANDEF_FAULT") {
+            Ok(raw) if !raw.is_empty() => match FaultSpec::parse(&raw) {
+                Ok(spec) => Some(spec),
+                Err(e) => {
+                    // A typo'd spec must not silently disable a fault
+                    // sweep; the sweep itself also catches this (a child
+                    // that was expected to crash exits 0).
+                    eprintln!("GANDEF_FAULT: ignoring malformed spec {raw:?}: {e}");
+                    None
+                }
+            },
+            _ => None,
+        })
+        .as_ref()
+}
+
+fn trigger(kind: FaultKind, site: &str) -> io::Result<()> {
+    match kind {
+        FaultKind::IoFail => Err(io::Error::other(format!(
+            "injected fault at I/O point {site:?}"
+        ))),
+        FaultKind::Kill => {
+            eprintln!("GANDEF_FAULT: simulated crash at I/O point {site:?}");
+            std::process::abort();
+        }
+    }
+}
+
+/// Marks one interruptible operation inside a checkpoint writer.
+///
+/// Returns the injected error when a matching `io-fail` fault reaches its
+/// ordinal, aborts the process for a matching `kill` fault, and is a
+/// cheap counter increment otherwise.
+///
+/// # Errors
+///
+/// Returns an injected [`io::Error`] only when an `io-fail` fault armed
+/// for `site` reaches its trigger ordinal.
+pub fn io_point(site: &str) -> io::Result<()> {
+    TOTAL_POINTS.fetch_add(1, Ordering::Relaxed);
+    let local_kind = LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let active = slot.as_mut()?;
+        if active.spec.site != site {
+            return None;
+        }
+        active.hits += 1;
+        (active.hits == active.spec.at).then_some(active.spec.kind)
+    });
+    if let Some(kind) = local_kind {
+        return trigger(kind, site);
+    }
+    if let Some(spec) = env_spec() {
+        if spec.site == site {
+            let n = ENV_HITS.fetch_add(1, Ordering::Relaxed) + 1;
+            if n == spec.at {
+                return trigger(spec.kind, site);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Marks the completion of training epoch `epoch` (1-based count of
+/// completed epochs, after its checkpoint was written). A `kill:epoch:N`
+/// fault aborts the process here — the primitive behind the cross-process
+/// bit-exact resume oracle in `scripts/ci.sh`.
+pub fn epoch_point(epoch: usize) {
+    if let Some(spec) = env_spec() {
+        if spec.kind == FaultKind::Kill && spec.site == "epoch" && spec.at == epoch {
+            eprintln!("GANDEF_FAULT: simulated crash after epoch {epoch}");
+            std::process::abort();
+        }
+    }
+}
+
+/// Total I/O points the process has passed through (all sites). The crash
+/// harness prints this so the CI sweep can enumerate every kill position.
+pub fn io_points_seen() -> usize {
+    TOTAL_POINTS.load(Ordering::Relaxed)
+}
+
+/// Arms `spec` for the duration of `f` on the calling thread only, then
+/// disarms it (also on panic). `kill` faults abort the process and are
+/// not meaningfully testable in-process; use `io-fail` here and drive
+/// `kill` from a child process.
+pub fn with_fault<T>(spec: FaultSpec, f: impl FnOnce() -> T) -> T {
+    struct Disarm;
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            LOCAL.with(|slot| *slot.borrow_mut() = None);
+        }
+    }
+    LOCAL.with(|slot| *slot.borrow_mut() = Some(ActiveFault { spec, hits: 0 }));
+    let _disarm = Disarm;
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_documented_forms() {
+        let s = FaultSpec::parse("io-fail:save_params:3").unwrap();
+        assert_eq!(s.kind, FaultKind::IoFail);
+        assert_eq!(s.site, "save_params");
+        assert_eq!(s.at, 3);
+        let s = FaultSpec::parse("kill:epoch:2").unwrap();
+        assert_eq!(s.kind, FaultKind::Kill);
+        assert_eq!(s.site, "epoch");
+        assert_eq!(s.at, 2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in ["", "explode:x:1", "io-fail::1", "io-fail:x", "kill:x:0"] {
+            assert!(FaultSpec::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn io_fail_triggers_at_the_exact_ordinal_and_disarms() {
+        let spec = FaultSpec::parse("io-fail:site-a:2").unwrap();
+        let results = with_fault(spec, || {
+            (0..4)
+                .map(|_| io_point("site-a").is_ok())
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(results, vec![true, false, true, true]);
+        // Disarmed outside the closure.
+        assert!(io_point("site-a").is_ok());
+    }
+
+    #[test]
+    fn other_sites_do_not_count_toward_the_ordinal() {
+        let spec = FaultSpec::parse("io-fail:site-b:1").unwrap();
+        with_fault(spec, || {
+            assert!(io_point("site-c").is_ok());
+            assert!(io_point("site-b").is_err());
+        });
+    }
+}

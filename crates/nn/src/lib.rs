@@ -15,6 +15,11 @@
 //! * [`Net`] and the [`Classifier`] trait: an initialized model + parameters
 //!   with inference and input-gradient entry points (the latter is what the
 //!   white-box attack crate consumes).
+//! * [`serialize`] / [`run_state`]: atomic checksummed weight checkpoints
+//!   and full run-state capture (optimizer moments, RNG, epoch) for
+//!   crash-safe, bit-exact training resume.
+//! * [`fault`]: the `GANDEF_FAULT` injection points that let CI crash the
+//!   checkpoint writers at every interruptible step and check the claims.
 //!
 //! # Example
 //!
@@ -35,14 +40,17 @@
 
 #![deny(missing_docs)]
 
+pub mod fault;
 pub mod init;
 pub mod layer;
 pub mod optim;
+pub mod run_state;
 pub mod serialize;
 pub mod zoo;
 
 mod net;
 mod params;
+mod wire;
 
 pub use net::{Classifier, Net};
 pub use params::{Mode, Params, Session};

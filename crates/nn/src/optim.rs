@@ -104,6 +104,30 @@ pub struct Adam {
     v: Vec<Option<Tensor>>,
 }
 
+/// A snapshot of Adam's mutable state — step counter, learning rate and
+/// both moment vectors — sufficient to continue the optimizer bit-exactly
+/// from where the snapshot was taken. Run-state checkpointing
+/// ([`crate::run_state`]) captures one of these per optimizer.
+///
+/// The hyperparameters `β₁`/`β₂`/`ε` are intentionally *not* part of the
+/// state: they come from configuration and restoring must not silently
+/// override what the resuming run was configured with. The learning rate
+/// *is* captured because the divergence guard mutates it at runtime
+/// (backoff on rollback), so its current value is run state, not config.
+#[derive(Clone, Debug)]
+pub struct AdamState {
+    /// Learning rate at snapshot time (may differ from the configured one
+    /// after divergence-guard backoff).
+    pub lr: f32,
+    /// Update steps taken so far.
+    pub t: u64,
+    /// First-moment estimates in parameter-store order (`None` for
+    /// parameters that never received a gradient).
+    pub m: Vec<Option<Tensor>>,
+    /// Second-moment estimates, same layout as `m`.
+    pub v: Vec<Option<Tensor>>,
+}
+
 impl Adam {
     /// Creates Adam with the canonical defaults `β₁ = 0.9`, `β₂ = 0.999`,
     /// `ε = 1e−8`.
@@ -117,6 +141,25 @@ impl Adam {
             m: Vec::new(),
             v: Vec::new(),
         }
+    }
+
+    /// Snapshots the mutable state (see [`AdamState`]).
+    pub fn state(&self) -> AdamState {
+        AdamState {
+            lr: self.lr,
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Restores a snapshot taken with [`Adam::state`]. Subsequent steps
+    /// continue exactly as they would have from the snapshot point.
+    pub fn restore(&mut self, state: AdamState) {
+        self.lr = state.lr;
+        self.t = state.t;
+        self.m = state.m;
+        self.v = state.v;
     }
 }
 
@@ -220,6 +263,31 @@ mod tests {
         opt.step(&mut params, &[Some(Tensor::from_vec(vec![1], vec![123.0]))]);
         let w = params.get("w").as_slice()[0];
         assert!((w + 0.001).abs() < 1e-5, "w {w}");
+    }
+
+    #[test]
+    fn adam_state_roundtrip_is_bit_exact() {
+        // Split run (k steps, snapshot, restore into a fresh optimizer,
+        // k more) must match a straight 2k-step run bit-for-bit.
+        let target = Tensor::from_vec(vec![3], vec![1.0, -2.0, 0.5]);
+        let run = |resume_at: Option<usize>| {
+            let mut params = Params::new();
+            params.insert("w", Tensor::zeros(&[3]));
+            let mut opt = Adam::new(0.05);
+            for step in 0..20 {
+                if Some(step) == resume_at {
+                    let snap = opt.state();
+                    opt = Adam::new(0.05);
+                    opt.restore(snap);
+                }
+                let g = params.get("w").sub(&target).scale(2.0);
+                opt.step(&mut params, &[Some(g)]);
+            }
+            params.get("w").clone()
+        };
+        let straight = run(None);
+        let resumed = run(Some(10));
+        assert_eq!(straight.as_slice(), resumed.as_slice());
     }
 
     #[test]

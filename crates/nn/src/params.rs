@@ -126,6 +126,11 @@ impl Params {
         &mut self.values[i]
     }
 
+    /// Whether a parameter named `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
     /// Iterates over `(name, tensor)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Tensor)> {
         self.names.iter().map(String::as_str).zip(&self.values)

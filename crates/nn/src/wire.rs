@@ -1,0 +1,354 @@
+//! Shared wire-format plumbing for the checkpoint writers/readers:
+//! a hand-rolled CRC-32, a bounds-checked byte cursor, typed little-endian
+//! encode helpers, and the atomic write-temp-fsync-rename primitive.
+//!
+//! Both `GNDF` (weights, [`crate::serialize`]) and `GNRS` (run state,
+//! [`crate::run_state`]) build on this module, so corruption detection and
+//! crash atomicity behave identically for the two file kinds.
+
+use crate::fault;
+use crate::serialize::CheckpointError;
+use gandef_tensor::Tensor;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the same
+/// checksum gzip/PNG use. Table generated at compile time; no external
+/// crate needed.
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` (full init/finalize; matches `crc32` from zlib).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Little-endian append helpers over a growing byte buffer.
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// `Format` if the length exceeds the u32 field range.
+    pub fn put_str(&mut self, s: &str) -> Result<(), CheckpointError> {
+        self.put_u32(to_u32(s.len(), "name length")?);
+        self.buf.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
+
+    /// Tensor wire form: `rank u32 | dims u32... | data_len u32 | f32 LE
+    /// data` — byte-identical to the GNDF v1 entry body, so the v2 writer
+    /// and the run-state writer share it.
+    ///
+    /// # Errors
+    ///
+    /// `Format` if rank, a dimension or the element count exceeds the u32
+    /// field range.
+    pub fn put_tensor(&mut self, t: &Tensor) -> Result<(), CheckpointError> {
+        let dims = t.shape().dims();
+        self.put_u32(to_u32(dims.len(), "rank")?);
+        for &d in dims {
+            self.put_u32(to_u32(d, "dimension")?);
+        }
+        self.put_u32(to_u32(t.numel(), "element count")?);
+        for &v in t.as_slice() {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+        Ok(())
+    }
+
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Checked narrowing for u32 wire fields. A silently truncating `as u32`
+/// would write a structurally valid-looking file the loader then rejects
+/// or, worse, misparses.
+pub fn to_u32(v: usize, what: &str) -> Result<u32, CheckpointError> {
+    u32::try_from(v).map_err(|_| {
+        CheckpointError::Format(format!("{what} {v} exceeds the u32 wire field range"))
+    })
+}
+
+/// A bounds-checked reader over an untrusted byte slice. Every read that
+/// would run past the end returns [`CheckpointError::Format`] — never a
+/// panic — so truncated or bit-flipped checkpoints surface as errors.
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// The next `n` bytes, advancing the cursor.
+    ///
+    /// # Errors
+    ///
+    /// `Format` if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.remaining() < n {
+            return Err(CheckpointError::Format(format!(
+                "truncated: wanted {n} bytes at offset {}, {} remain",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, CheckpointError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, CheckpointError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Length-prefixed UTF-8 string with a sanity cap on the length.
+    ///
+    /// # Errors
+    ///
+    /// `Format` on truncation, an oversized length or non-UTF-8 bytes.
+    pub fn get_str(&mut self) -> Result<String, CheckpointError> {
+        let len = self.get_u32()? as usize;
+        if len > 4096 {
+            return Err(CheckpointError::Format(format!("oversized name ({len})")));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CheckpointError::Format("non-UTF8 name".into()))
+    }
+
+    /// Tensor in the wire form written by [`Enc::put_tensor`], fully
+    /// validated: rank/length caps, dims·product == data length, no
+    /// zero-sized dimension.
+    ///
+    /// # Errors
+    ///
+    /// `Format` on any structural problem; never panics on any input.
+    pub fn get_tensor(&mut self, name: &str) -> Result<Tensor, CheckpointError> {
+        let rank = self.get_u32()? as usize;
+        if rank > 8 {
+            return Err(CheckpointError::Format(format!(
+                "entry {name:?}: implausible rank {rank}"
+            )));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(self.get_u32()? as usize);
+        }
+        let len = self.get_u32()? as usize;
+        let expect: usize = dims.iter().product();
+        if len != expect || len > 100_000_000 {
+            return Err(CheckpointError::Format(format!(
+                "entry {name:?}: data length {len} does not match shape {dims:?}"
+            )));
+        }
+        let raw = self.take(len * 4)?;
+        let mut data = Vec::with_capacity(len);
+        for chunk in raw.chunks_exact(4) {
+            data.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+        }
+        Tensor::try_from_vec(dims.clone(), data).ok_or_else(|| {
+            CheckpointError::Format(format!("entry {name:?}: invalid shape {dims:?}"))
+        })
+    }
+}
+
+/// Atomically replaces `path` with `bytes`: writes a temporary file *in
+/// the same directory*, flushes and fsyncs it, then renames it over the
+/// target and fsyncs the directory. A crash at any point leaves either the
+/// old complete file or the new complete file — never a partial write.
+///
+/// Every interruptible step is a [`fault::io_point`] under `site`, so the
+/// CI crash sweep can kill the process at each one and check that claim.
+///
+/// # Errors
+///
+/// Any underlying I/O failure (including injected ones); the temporary
+/// file is removed best-effort and the target is left untouched.
+pub fn atomic_write(path: &Path, site: &str, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("checkpoint");
+    let tmp = match dir {
+        Some(d) => d.join(format!(".{file_name}.tmp.{}", std::process::id())),
+        None => Path::new(&format!(".{file_name}.tmp.{}", std::process::id())).to_path_buf(),
+    };
+
+    let result = (|| {
+        fault::io_point(site)?; // create
+        let mut f = fs::File::create(&tmp)?;
+        // Write in bounded chunks so a mid-write crash is a reachable
+        // state (one giant write_all would make "partial temp file" rare
+        // in the sweep) and each chunk is an injection point.
+        for chunk in bytes.chunks(1 << 16) {
+            fault::io_point(site)?; // chunk write
+            f.write_all(chunk)?;
+        }
+        fault::io_point(site)?; // fsync
+        f.sync_all()?;
+        drop(f);
+        fault::io_point(site)?; // rename
+        fs::rename(&tmp, path)?;
+        // Persist the rename itself. Failure here is not fatal to
+        // atomicity (the rename already happened; at worst it is not yet
+        // durable), so this is best-effort.
+        if let Some(d) = dir {
+            if let Ok(dirf) = fs::File::open(d) {
+                let _ = dirf.sync_all();
+            }
+        }
+        Ok(())
+    })();
+
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for the ASCII digits, per the CRC catalog.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn cursor_reports_truncation_not_panic() {
+        let mut c = Cursor::new(&[1, 2, 3]);
+        assert!(c.get_u32().is_err());
+        let mut c = Cursor::new(&[1, 2, 3, 4]);
+        assert_eq!(c.get_u32().unwrap(), 0x0403_0201);
+        assert_eq!(c.remaining(), 0);
+        assert!(c.get_u32().is_err());
+    }
+
+    #[test]
+    fn enc_cursor_roundtrip() {
+        let mut e = Enc::new();
+        e.put_u32(7);
+        e.put_u64(u64::MAX - 1);
+        e.put_str("conv1.w").unwrap();
+        let t = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        e.put_tensor(&t).unwrap();
+        let bytes = e.into_bytes();
+        let mut c = Cursor::new(&bytes);
+        assert_eq!(c.get_u32().unwrap(), 7);
+        assert_eq!(c.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(c.get_str().unwrap(), "conv1.w");
+        assert_eq!(c.get_tensor("conv1.w").unwrap(), t);
+        assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn get_tensor_rejects_zero_dim_and_bad_length() {
+        // rank 1, dim 0, len 0 — dims product is 0 == len, but zero dims
+        // are invalid shapes and must be a Format error, not a panic.
+        let mut e = Enc::new();
+        e.put_u32(1);
+        e.put_u32(0);
+        e.put_u32(0);
+        let b = e.into_bytes();
+        assert!(Cursor::new(&b).get_tensor("x").is_err());
+
+        // rank 1, dim 2, len 3 — mismatch.
+        let mut e = Enc::new();
+        e.put_u32(1);
+        e.put_u32(2);
+        e.put_u32(3);
+        let b = e.into_bytes();
+        assert!(Cursor::new(&b).get_tensor("x").is_err());
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("gndf-aw-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("file.bin");
+        atomic_write(&target, "save_params", b"first").unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"first");
+        atomic_write(&target, "save_params", b"second-longer").unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"second-longer");
+        let leftovers: Vec<_> = fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(leftovers.len(), 1, "temp file leaked: {leftovers:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

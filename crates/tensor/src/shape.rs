@@ -37,6 +37,18 @@ impl Shape {
         Shape { dims }
     }
 
+    /// Non-panicking [`Shape::new`]: returns `None` if any dimension is
+    /// zero. For validating untrusted dimension lists (e.g. checkpoint
+    /// files) where a malformed input must surface as an error, not a
+    /// panic.
+    pub fn try_new(dims: Vec<usize>) -> Option<Self> {
+        if dims.iter().all(|&d| d > 0) {
+            Some(Shape { dims })
+        } else {
+            None
+        }
+    }
+
     /// Creates a rank-0 (scalar) shape.
     pub fn scalar() -> Self {
         Shape { dims: Vec::new() }

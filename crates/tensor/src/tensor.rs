@@ -95,6 +95,19 @@ impl Tensor {
         Tensor { shape, data }
     }
 
+    /// Non-panicking [`Tensor::from_vec`]: returns `None` if a dimension
+    /// is zero or `data.len()` does not equal the product of `dims`. For
+    /// reconstructing tensors from untrusted bytes (checkpoint loading)
+    /// where malformed input must become a typed error, not a panic.
+    pub fn try_from_vec(dims: Vec<usize>, data: Vec<f32>) -> Option<Self> {
+        let shape = Shape::try_new(dims)?;
+        if data.len() == shape.numel() {
+            Some(Tensor { shape, data })
+        } else {
+            None
+        }
+    }
+
     /// Creates a tensor by evaluating `f` at every flat (row-major) index.
     pub fn from_fn(dims: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
         let shape = Shape::from(dims);

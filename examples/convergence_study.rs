@@ -3,14 +3,41 @@
 //! settings (§V-D / Figure 5 right), printed as sparkline-style rows.
 //!
 //! ```text
-//! cargo run --release --example convergence_study
+//! cargo run --release --example convergence_study [-- --resume DIR]
 //! ```
+//!
+//! With `--resume DIR` each setting checkpoints into its own
+//! subdirectory of `DIR` after every epoch and picks up where it left
+//! off if the process died mid-study — kill it halfway and rerun to see
+//! the `resumed at epoch N` annotations (the loss rows then cover only
+//! the freshly trained epochs).
 
+use std::path::PathBuf;
 use zk_gandef_repro::data::{generate, DatasetKind, GenSpec};
-use zk_gandef_repro::defense::defense::{Cls, Defense};
+use zk_gandef_repro::defense::defense::{Cls, Defense, RunEvent};
 use zk_gandef_repro::defense::TrainConfig;
 use zk_gandef_repro::nn::{zoo, Net};
 use zk_gandef_repro::tensor::rng::Prng;
+
+fn resume_dir_from_args() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--resume" => match args.next() {
+                Some(dir) => return Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--resume requires a directory");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other:?} (supported: --resume DIR)");
+                std::process::exit(2);
+            }
+        }
+    }
+    None
+}
 
 fn spark(trace: &[f32]) -> String {
     const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -44,6 +71,7 @@ fn main() {
             seed: 2,
         },
     );
+    let resume_dir = resume_dir_from_args();
     let settings = [(1.0f32, 0.4f32), (1.0, 0.01), (0.1, 0.4), (0.1, 0.01)];
     println!(
         "CLS on {} — loss per epoch (high→low within each row):\n",
@@ -52,16 +80,34 @@ fn main() {
     for (sigma, lambda) in settings {
         let mut cfg = TrainConfig::quick(DatasetKind::SynthCifar).with_sigma_lambda(sigma, lambda);
         cfg.epochs = 8;
+        if let Some(dir) = &resume_dir {
+            cfg = cfg.with_checkpoint(dir.join(format!("cls-s{sigma}-l{lambda}")));
+        }
         let mut rng = Prng::new(0);
         let mut net = Net::new(zoo::allcnn(3, 0.2), &mut rng);
         let report = Cls.train(&mut net, &ds, &cfg, &mut rng);
+        let resumed = report.events.iter().find_map(|e| match e {
+            RunEvent::Resumed { epoch } => Some(*epoch),
+            _ => None,
+        });
+        if resumed == Some(cfg.epochs) {
+            println!(
+                "σ={sigma:<4} λ={lambda:<5}  (already complete — resumed at epoch {})",
+                cfg.epochs
+            );
+            continue;
+        }
         let verdict = if report.failed_to_converge(0.10) {
             "does NOT converge"
         } else {
             "converges"
         };
+        let note = match resumed {
+            Some(epoch) => format!("  [resumed at epoch {epoch}]"),
+            None => String::new(),
+        };
         println!(
-            "σ={sigma:<4} λ={lambda:<5}  {}  first {:.2} → last {:.2}  ({verdict})",
+            "σ={sigma:<4} λ={lambda:<5}  {}  first {:.2} → last {:.2}  ({verdict}){note}",
             spark(&report.epoch_losses),
             report.epoch_losses.first().copied().unwrap_or(f32::NAN),
             report.final_loss()

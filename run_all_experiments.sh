@@ -1,17 +1,41 @@
 #!/bin/bash
 # Regenerates every paper artifact sequentially (see DESIGN.md §4).
-# Usage: ./run_all_experiments.sh [extra harness flags, e.g. --paper-scale]
+# Usage: ./run_all_experiments.sh [--fresh] [extra harness flags, e.g. --paper-scale]
+#
+# The run is resumable: each harness that completes drops a
+# results/<binary>.done marker and is skipped on the next invocation, so
+# a crashed or interrupted sweep picks up at the first unfinished
+# harness instead of repeating hours of finished work. Pass --fresh to
+# clear the markers and rerun everything. Markers are also invalidated
+# when the flags change (the flag string is stored inside the marker).
 #
 # Binaries are built once up front and then invoked directly, so the run is
 # immune to concurrent source edits.
 set -u
 cd "$(dirname "$0")"
 mkdir -p results
+
+if [ "${1:-}" = "--fresh" ]; then
+  shift
+  rm -f results/*.done
+fi
+flags="$*"
+
 cargo build --release -p gandef-bench || exit 1
 for b in table3 table4 fig5_time fig5_convergence gamma_ablation \
          prop1_entropy disc_capacity augmentation_ablation \
          transfer_attack logit_signature; do
+  marker="results/${b}.done"
+  if [ -f "$marker" ] && [ "$(cat "$marker")" = "$flags" ]; then
+    echo "=== $b already done (rm $marker to rerun) ==="
+    continue
+  fi
   echo "=== $b $(date +%H:%M:%S) ==="
-  "./target/release/$b" "$@" 2>&1 | tee "results/${b}_run.log"
+  if "./target/release/$b" "$@" 2>&1 | tee "results/${b}_run.log" \
+     && [ "${PIPESTATUS[0]}" -eq 0 ]; then
+    printf '%s' "$flags" > "$marker"
+  else
+    echo "=== $b FAILED — no marker written, rerun resumes here ==="
+  fi
 done
 echo "ALL_EXPERIMENTS_DONE $(date +%H:%M:%S)"

@@ -13,7 +13,11 @@
 # temp dir so the checked-in file is never clobbered), the numerics
 # audit (the f64-accumulation kernel oracle must be byte-identical
 # across thread counts and FMA settings, and the f64 training trajectory
-# must be reproducible), and — when a nightly toolchain with Miri is
+# must be reproducible), the crash-consistency sweep (a training child is
+# killed at every checkpoint-write injection point and the on-disk state
+# must verify as old-or-new, never corrupt, plus a cross-process
+# kill-and-resume run that must be bit-identical to a straight run under
+# f64 accumulation), and — when a nightly toolchain with Miri is
 # already installed — a Miri pass over the tensor crate's unsafe surface.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -101,6 +105,82 @@ cat "$out/oracle_t1.txt"
 
 echo "==> numerics audit: trajectory divergence + f64 reproducibility"
 ./target/release/numerics_audit
+
+echo "==> crash-consistency sweep (kill a training child at every I/O point)"
+# A clean run reports how many fault-injection points the checkpoint
+# writer passes through (see docs/KNOBS.md, GANDEF_FAULT). The sweep then
+# re-runs the child with a kill injected at each ordinal of each write
+# site; whatever survives on disk must verify as a complete previous
+# checkpoint or no checkpoint at all — a corrupt state fails the build.
+# Ordinals past a site's actual point count simply never fire (the child
+# completes), which the crash counters below confirm isn't the norm.
+harness=./target/release/crash_harness
+sweep="$out/crash_sweep"
+# Runs a child that is expected to die by SIGABRT without bash's
+# "Aborted" job notice cluttering the log: the notice is printed by the
+# shell that reaps the child, so an inner shell with redirected stderr
+# absorbs it. The trailing `exit $?` keeps the inner shell from
+# exec-replacing itself with the child (which would defeat the wrapper).
+# Propagates the child's exit status.
+run_quiet() {
+    bash -c '"$0" "$@"; exit $?' "$@" >/dev/null 2>&1
+}
+census="$($harness train --dir "$sweep/census" --epochs 2 --train 64 | grep IO_POINTS)"
+points="${census#IO_POINTS }"
+echo "checkpoint writer passes $points I/O points in a 2-epoch run"
+for site in save_params save_state; do
+    crashes=0
+    for i in $(seq 1 "$points"); do
+        dir="$sweep/kill-$site-$i"
+        if ! GANDEF_FAULT="kill:$site:$i" \
+            run_quiet "$harness" train --dir "$dir" --epochs 2 --train 64; then
+            crashes=$((crashes + 1))
+        fi
+        "$harness" verify --dir "$dir" >/dev/null || {
+            echo "FAIL: corrupt checkpoint after kill:$site:$i"
+            "$harness" verify --dir "$dir"
+            exit 1
+        }
+    done
+    if [ "$crashes" -eq 0 ]; then
+        echo "FAIL: kill:$site:* never crashed the child — injection points unreachable?"
+        exit 1
+    fi
+    echo "site $site: $crashes/$points kills, every surviving state verified"
+done
+# Injected I/O *errors* (not crashes) must be absorbed: the child reports
+# CheckpointFailed and finishes training with exit 0.
+dir="$sweep/iofail"
+# Capture to a file rather than piping into `grep -q` — early-exit grep
+# closes the pipe and turns the child's final prints into a spurious
+# broken-pipe failure under pipefail.
+GANDEF_FAULT=io-fail:save_state:1 \
+    "$harness" train --dir "$dir" --epochs 2 --train 64 >"$sweep/iofail.log" 2>&1
+grep -q "CheckpointFailed" "$sweep/iofail.log" || {
+    echo "FAIL: io-fail:save_state:1 did not surface a CheckpointFailed event"
+    cat "$sweep/iofail.log"
+    exit 1
+}
+"$harness" verify --dir "$dir" >/dev/null
+echo "io-fail absorbed as CheckpointFailed, training completed"
+
+echo "==> cross-process resume oracle (straight == kill + resume, f64 accum)"
+# The strongest resumability statement the harness can make: killing a
+# run at the epoch-3 checkpoint and resuming it in a fresh process must
+# reproduce the straight 6-epoch run's weights bit-for-bit.
+straight="$(GANDEF_ACCUM=f64 "$harness" train --dir "$sweep/straight" --epochs 6 | grep FINGERPRINT)"
+if GANDEF_ACCUM=f64 GANDEF_FAULT=kill:epoch:3 \
+    run_quiet "$harness" train --dir "$sweep/oracle" --epochs 6; then
+    echo "FAIL: kill:epoch:3 did not kill the child"
+    exit 1
+fi
+[ "$(GANDEF_ACCUM=f64 "$harness" verify --dir "$sweep/oracle")" = "STATE_OK epoch=3" ]
+resumed="$(GANDEF_ACCUM=f64 "$harness" train --dir "$sweep/oracle" --epochs 6 | grep FINGERPRINT)"
+if [ "$straight" != "$resumed" ]; then
+    echo "FAIL: resume oracle mismatch: straight '$straight' vs resumed '$resumed'"
+    exit 1
+fi
+echo "resume oracle OK: $straight"
 
 # Optional unsafe-surface audit: run Miri over the tensor crate when a
 # nightly toolchain with the miri component is already installed. This is
