@@ -12,7 +12,7 @@
 use crate::Attack;
 use gandef_nn::Classifier;
 use gandef_tensor::rng::Prng;
-use gandef_tensor::Tensor;
+use gandef_tensor::{pool, Tensor};
 
 /// The Carlini–Wagner optimization-based attack (untargeted).
 #[derive(Clone, Copy, Debug)]
@@ -97,13 +97,11 @@ impl Attack for CarliniWagner {
             let adv = center.add(&radius.mul(&tanh_w));
             let z = model.logits(&adv);
 
-            // Margin term: f = z_true − max_{k≠true} z_k (per sample), and
-            // the ±1 weight rows selecting d f / d adv.
-            let mut weights = Tensor::zeros(&[n, classes]);
-            // lint:allow(alloc) — n-float scratch per Adam step, negligible
-            // next to the logits pass that dominates each iteration.
-            let mut margin = vec![0.0f32; n];
-            for i in 0..n {
+            // Margin term: f = z_true − max_{k≠true} z_k (per sample).
+            // Samples are independent and RNG-free, so the runner-up sweep
+            // fans out across the pool; results come back in index order,
+            // identical to the serial loop.
+            let margins = pool::parallel_tasks(n, |i| {
                 let truth = labels[i];
                 let mut runner_up = usize::MAX;
                 let mut best_z = f32::NEG_INFINITY;
@@ -113,11 +111,15 @@ impl Attack for CarliniWagner {
                         runner_up = k;
                     }
                 }
-                margin[i] = z.at(&[i, truth]) - best_z;
-                if margin[i] > -self.kappa {
+                (z.at(&[i, truth]) - best_z, runner_up)
+            });
+            // The ±1 weight rows selecting d f / d adv.
+            let mut weights = Tensor::zeros(&[n, classes]);
+            for (i, &(margin, runner_up)) in margins.iter().enumerate() {
+                if margin > -self.kappa {
                     // Only samples whose margin is not yet broken push
                     // gradient (the max(·, −κ) hinge).
-                    weights.set(&[i, truth], 1.0);
+                    weights.set(&[i, labels[i]], 1.0);
                     weights.set(&[i, runner_up], -1.0);
                 }
             }
@@ -133,27 +135,32 @@ impl Attack for CarliniWagner {
             m = m.scale(b1).add(&grad_w.scale(1.0 - b1));
             v = v.scale(b2).add(&grad_w.square().scale(1.0 - b2));
             let (bc1, bc2) = (1.0 - b1.powi(t as i32), 1.0 - b2.powi(t as i32));
-            let update = Tensor::from_fn(&dims, |j| {
-                let mh = m.as_slice()[j] / bc1;
-                let vh = v.as_slice()[j] / bc2;
-                mh / (vh.sqrt() + eps_adam)
-            });
+            // Same per-element math as the scalar loop, but pooled and
+            // bounds-check-free through the elementwise zip.
+            let update = m.broadcast_zip(&v, |mh, vh| (mh / bc1) / ((vh / bc2).sqrt() + eps_adam));
             w.axpy(-self.lr, &update);
 
-            // Book-keep the best successful example per sample.
+            // Book-keep the best successful example per sample: squared
+            // distances in parallel, the (cheap) copy-on-improvement
+            // serially in index order.
             let preds = z.argmax_rows();
             let row = x.numel() / n;
-            for i in 0..n {
-                if preds[i] != labels[i] {
-                    let d: f32 = delta.as_slice()[i * row..(i + 1) * row]
-                        .iter()
-                        .map(|v| v * v)
-                        .sum();
-                    if d < best_dist[i] {
-                        best_dist[i] = d;
-                        best_adv.as_mut_slice()[i * row..(i + 1) * row]
-                            .copy_from_slice(&adv.as_slice()[i * row..(i + 1) * row]);
-                    }
+            let dists = pool::parallel_tasks(n, |i| {
+                if preds[i] == labels[i] {
+                    return None;
+                }
+                let d: f32 = delta.as_slice()[i * row..(i + 1) * row]
+                    .iter()
+                    .map(|v| v * v)
+                    .sum();
+                Some(d)
+            });
+            for (i, dist) in dists.into_iter().enumerate() {
+                let Some(d) = dist else { continue };
+                if d < best_dist[i] {
+                    best_dist[i] = d;
+                    best_adv.as_mut_slice()[i * row..(i + 1) * row]
+                        .copy_from_slice(&adv.as_slice()[i * row..(i + 1) * row]);
                 }
             }
         }

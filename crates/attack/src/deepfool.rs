@@ -9,7 +9,7 @@
 use crate::{project, Attack};
 use gandef_nn::Classifier;
 use gandef_tensor::rng::Prng;
-use gandef_tensor::Tensor;
+use gandef_tensor::{pool, Tensor};
 
 /// DeepFool with an `l2` inner step and an `l∞` outer budget.
 #[derive(Clone, Copy, Debug)]
@@ -79,11 +79,12 @@ impl Attack for DeepFool {
                 class_grads.push(model.weighted_logit_input_grad(&sub, &w));
             }
 
-            // Per active sample: nearest linearized boundary, scattered
-            // back into the full-batch delta at the sample's original row.
-            let mut delta = Tensor::zeros(x.shape().dims());
-            for (r, &i) in active.iter().enumerate() {
-                let orig = labels[i];
+            // Per active sample: nearest linearized boundary. Samples are
+            // independent and the whole attack is RNG-free, so the inner
+            // loop fans out across the pool; `parallel_tasks` returns in
+            // index order, keeping results identical to the serial sweep.
+            let steps = pool::parallel_tasks(active.len(), |r| {
+                let orig = labels[active[r]];
                 // lint:allow(alloc) — one row copy per active sample per
                 // iteration; the candidate `w` below aliases the same
                 // class_grads storage, so a borrow must end here.
@@ -107,16 +108,24 @@ impl Attack for DeepFool {
                         best = Some((ratio, w, f));
                     }
                 }
-                let Some((_, w, f)) = best else {
-                    // Single-class models have no boundary to cross; leave
-                    // this sample's delta at zero.
-                    continue;
-                };
-                let norm_sq = w.iter().map(|v| v * v).sum::<f32>().max(1e-12);
-                let scale = (f.abs() + 1e-4) / norm_sq * (1.0 + self.overshoot);
-                let d = delta.as_mut_slice();
-                for (j, wj) in w.iter().enumerate() {
-                    d[i * row_elems + j] = scale * wj;
+                // Single-class models have no boundary to cross; None
+                // leaves that sample's delta at zero.
+                best.map(|(_, w, f)| {
+                    let norm_sq = w.iter().map(|v| v * v).sum::<f32>().max(1e-12);
+                    let scale = (f.abs() + 1e-4) / norm_sq * (1.0 + self.overshoot);
+                    (w, scale)
+                })
+            });
+
+            // Serial scatter back into the full-batch delta at each
+            // sample's original row.
+            let mut delta = Tensor::zeros(x.shape().dims());
+            let d = delta.as_mut_slice();
+            for (r, step) in steps.into_iter().enumerate() {
+                let Some((w, scale)) = step else { continue };
+                let i = active[r];
+                for (dst, wj) in d[i * row_elems..(i + 1) * row_elems].iter_mut().zip(&w) {
+                    *dst = scale * wj;
                 }
             }
             adv = project(&adv.add(&delta), x, self.eps);

@@ -370,14 +370,16 @@ impl Tape {
     /// 2-D convolution of `x` (`[N, C, H, W]`) with filters `w`
     /// (`[O, C, kh, kw]`).
     pub fn conv2d(&mut self, x: VarId, w: VarId, spec: ConvSpec) -> VarId {
-        let input_dims: Vec<usize> = self.value(x).shape().dims().to_vec();
+        // The fused backward regathers patches from the saved input, so the
+        // tape no longer keeps the (much larger) im2col matrix alive.
+        let input = self.value(x).clone();
         let weight = self.value(w).clone();
-        let (value, cols) = conv::conv2d(self.value(x), &weight, spec);
+        let value = conv::conv2d(&input, &weight, spec);
         self.push(
             value,
             vec![x, w],
             Some(Box::new(move |g| {
-                let (gx, gw) = conv::conv2d_backward(g, &cols, &weight, &input_dims, spec);
+                let (gx, gw) = conv::conv2d_backward(g, &input, &weight, spec);
                 vec![gx, gw]
             })),
         )

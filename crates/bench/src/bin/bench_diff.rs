@@ -11,8 +11,11 @@
 //! naive path), not scheduler noise; see DESIGN.md "Benchmark gate".
 //!
 //! Usage: `bench_diff --baseline BENCH_tensor.json --fresh BENCH_smoke.json
-//! [--min-ratio 0.3]` — exits 1 if any matched kernel's fresh throughput
-//! falls below `min-ratio` × the baseline throughput.
+//! [--min-ratio 0.3] [--require a,b,c]` — exits 1 if any matched kernel's
+//! fresh throughput falls below `min-ratio` × the baseline throughput, or
+//! if a `--require`d kernel was not actually compared (missing from either
+//! side, or throughput-less) — so silently dropping a gated kernel from the
+//! bench run fails CI instead of weakening the gate.
 
 use gandef_bench::microbench::{self, Measurement};
 use std::process::ExitCode;
@@ -37,6 +40,7 @@ fn main() -> ExitCode {
     let mut baseline_path = String::from("BENCH_tensor.json");
     let mut fresh_path = String::new();
     let mut min_ratio = DEFAULT_MIN_RATIO;
+    let mut required: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -49,9 +53,14 @@ fn main() -> ExitCode {
                     .parse()
                     .expect("--min-ratio must be a number");
             }
+            "--require" => {
+                let list = args.next().expect("--require needs a comma-separated list");
+                required.extend(list.split(',').map(str::to_string));
+            }
             other => {
                 eprintln!(
-                    "unknown flag {other}; supported: --baseline PATH --fresh PATH --min-ratio X"
+                    "unknown flag {other}; supported: --baseline PATH --fresh PATH \
+                     --min-ratio X --require a,b,c"
                 );
                 return ExitCode::from(2);
             }
@@ -71,6 +80,7 @@ fn main() -> ExitCode {
     );
     let mut failed = false;
     let mut compared = 0;
+    let mut compared_names: Vec<&str> = Vec::new();
     for f in &fresh {
         let Some(b) = baseline.iter().find(|b| b.name == f.name) else {
             println!(
@@ -87,6 +97,7 @@ fn main() -> ExitCode {
             continue;
         }
         compared += 1;
+        compared_names.push(&f.name);
         let ratio = f.gflops / b.gflops;
         let ok = ratio >= min_ratio;
         failed |= !ok;
@@ -102,6 +113,15 @@ fn main() -> ExitCode {
     if compared == 0 {
         eprintln!("bench_diff: no kernels matched between {baseline_path} and {fresh_path}");
         return ExitCode::from(2);
+    }
+    for name in &required {
+        if !compared_names.iter().any(|c| c == name) {
+            eprintln!(
+                "bench_diff: required kernel `{name}` was not compared — missing from \
+                 baseline or fresh run, or carries no FLOP count"
+            );
+            failed = true;
+        }
     }
     if failed {
         eprintln!(

@@ -136,6 +136,9 @@ fn main() {
     let spec = ConvSpec { stride: 1, pad: 1 };
     // 2 · N · O · Ho · Wo · C · kh · kw multiply-adds.
     let conv_flops = 2 * (batch as u64) * 16 * 32 * 32 * 3 * 9;
+    // `conv2d` is the default fused implicit-GEMM path; `conv2d_im2col`
+    // is the retained reference lowering (GANDEF_CONV=im2col), kept in
+    // the record so the fusion win stays visible PR over PR.
     results.push(microbench::run(
         "conv2d",
         &format!("{batch}x3x32x32*16x3x3x3"),
@@ -143,6 +146,24 @@ fn main() {
         warmup,
         samples,
         || conv::conv2d(&img, &filt, spec),
+    ));
+    results.push(microbench::run(
+        "conv2d_im2col",
+        &format!("{batch}x3x32x32*16x3x3x3"),
+        conv_flops,
+        warmup,
+        samples,
+        || conv::conv2d_im2col(&img, &filt, spec),
+    ));
+    let gout = rng.uniform_tensor(&[batch, 16, 32, 32], -1.0, 1.0);
+    // Data gradient + weight gradient are each a conv-sized contraction.
+    results.push(microbench::run(
+        "conv2d_backward",
+        &format!("{batch}x3x32x32*16x3x3x3"),
+        2 * conv_flops,
+        warmup,
+        samples,
+        || conv::conv2d_backward(&gout, &img, &filt, spec),
     ));
     results.push(microbench::run(
         "im2col",
@@ -172,9 +193,9 @@ fn main() {
         samples,
         || x.sum(),
     ));
-    // `sum` accumulates in f64 unconditionally (chunked, pool-invariant),
-    // so the accum mode only affects the axis reduction — record both of
-    // its paths.
+    // `sum` always accumulates in f64 over fixed windows (lane-parallel
+    // by default, strictly sequential under GANDEF_ACCUM=f64); the axis
+    // reduction has a genuine fast/oracle split — record both paths.
     let rows = big / 1024;
     let mat = rng.uniform_tensor(&[rows, 1024], -1.0, 1.0);
     results.push(microbench::run(

@@ -80,10 +80,35 @@ fn oracle() {
     );
     let filt = rng.uniform_tensor(&[8, 8, 3, 3], -0.5, 0.5);
     let spec = ConvSpec { stride: 1, pad: 1 };
+    let fused = conv::conv2d(&img, &filt, spec);
+    println!("conv2d: 0x{:016x}", fingerprint(&[fused.as_slice()]));
+    // The fused implicit-GEMM lowering must agree with the retained im2col
+    // reference bit-for-bit whenever f64 accumulation is active — the same
+    // contract the fingerprint diffs enforce across thread counts. The
+    // check is free here and turns a lowering divergence into a hard stop
+    // rather than a silent fingerprint change.
+    let (oracle, cols) = conv::conv2d_im2col(&img, &filt, spec);
+    if gandef_tensor::accum::accum() == Accum::F64 {
+        assert_eq!(
+            fused.as_slice(),
+            oracle.as_slice(),
+            "fused conv2d diverged from the im2col oracle under f64 accumulation"
+        );
+    }
+    let gout = rng.uniform_tensor(fused.shape().dims(), -1.0, 1.0);
+    let (gx, gw) = conv::conv2d_backward(&gout, &img, &filt, spec);
     println!(
-        "conv2d: 0x{:016x}",
-        fingerprint(&[conv::conv2d(&img, &filt, spec).0.as_slice()])
+        "conv2d_backward: 0x{:016x}",
+        fingerprint(&[gx.as_slice(), gw.as_slice()])
     );
+    if gandef_tensor::accum::accum() == Accum::F64 {
+        let (ox, ow) = conv::conv2d_backward_im2col(&gout, &cols, &filt, img.shape().dims(), spec);
+        assert_eq!(
+            (gx.as_slice(), gw.as_slice()),
+            (ox.as_slice(), ow.as_slice()),
+            "fused conv2d_backward diverged from the im2col oracle under f64 accumulation"
+        );
+    }
 }
 
 /// One full ZK-GanDef training run under `mode`, from a fixed seed.

@@ -1,12 +1,27 @@
 //! 2-D convolution and pooling kernels (NCHW layout), with explicit
 //! backward passes.
 //!
-//! Convolution is lowered to GEMM through im2col: the input patches are
-//! unrolled into a `[N·Ho·Wo, C·kh·kw]` matrix and multiplied against the
-//! reshaped filter bank. The backward pass reuses the same column matrix
-//! (`∂W = gᵀ·cols`) and scatters `∂cols` back with col2im.
+//! The default lowering is a **fused implicit GEMM**: input patches are
+//! gathered directly into the GEMM microkernel's packed B-panels (see
+//! [`crate::linalg`]'s `PackB` trait), so the `[C·kh·kw, Ho·Wo]` column
+//! matrix never exists in memory. Each example's output is computed as
+//! `W [O × C·kh·kw] × patches [C·kh·kw × Ho·Wo]`, which lands directly in
+//! NCHW order — no im2col buffer and no output transpose. The backward
+//! pass reuses the same patch packing for the weight gradient (pixels
+//! become the contraction axis) and fuses the col2im adjoint into a
+//! per-example tile-then-scatter for the data gradient.
+//!
+//! The classic im2col-then-GEMM lowering is retained behind the
+//! `GANDEF_CONV=im2col` knob (see [`conv_impl`]) as the reference
+//! implementation and equality oracle: under [`crate::accum::Accum::F64`]
+//! both paths compute the identical exactly-rounded `k`-ordered chain per
+//! output element, so they agree bit-for-bit.
 
-use crate::{linalg, pool, Shape, Tensor};
+use crate::accum::{self, Accum};
+use crate::linalg::{self, MatRef, PackA, PackB, MR, NR};
+use crate::{pool, Shape, Tensor};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Geometry of a 2-D convolution: square stride and zero padding.
 ///
@@ -43,6 +58,266 @@ impl ConvSpec {
         let padded = in_dim + 2 * self.pad;
         assert!(padded >= k, "kernel {k} larger than padded input {padded}");
         (padded - k) / self.stride + 1
+    }
+}
+
+/// Which convolution lowering [`conv2d`] / [`conv2d_backward`] use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvImpl {
+    /// Fused implicit GEMM (the default): patches are gathered straight
+    /// into the microkernel's B-panels, never materializing im2col.
+    Fused,
+    /// Reference im2col-then-GEMM lowering, kept as the equality oracle.
+    Im2col,
+}
+
+// 0 = unset (probe GANDEF_CONV on first read), 1 = Fused, 2 = Im2col.
+static GLOBAL_CONV: AtomicU8 = AtomicU8::new(0);
+
+thread_local! {
+    // 0 = no override, 1 = Fused, 2 = Im2col.
+    static LOCAL_CONV: Cell<u8> = const { Cell::new(0) };
+}
+
+fn encode_impl(mode: ConvImpl) -> u8 {
+    match mode {
+        ConvImpl::Fused => 1,
+        ConvImpl::Im2col => 2,
+    }
+}
+
+fn decode_impl(raw: u8) -> ConvImpl {
+    if raw == 2 {
+        ConvImpl::Im2col
+    } else {
+        ConvImpl::Fused
+    }
+}
+
+fn global_conv_impl() -> ConvImpl {
+    let raw = GLOBAL_CONV.load(Ordering::Relaxed);
+    if raw != 0 {
+        return decode_impl(raw);
+    }
+    // First read: honor the environment knob, then cache the answer. A
+    // race between first readers is benign — both sides write the same
+    // env-derived value.
+    let from_env = match std::env::var("GANDEF_CONV") {
+        Ok(v) if v.eq_ignore_ascii_case("im2col") => ConvImpl::Im2col,
+        _ => ConvImpl::Fused,
+    };
+    GLOBAL_CONV.store(encode_impl(from_env), Ordering::Relaxed);
+    from_env
+}
+
+/// Returns the convolution lowering in effect on the calling thread: the
+/// [`with_conv_impl`] override if one is active, otherwise the global
+/// default (`GANDEF_CONV=im2col` selects the reference path).
+pub fn conv_impl() -> ConvImpl {
+    let local = LOCAL_CONV.with(|c| c.get());
+    if local != 0 {
+        decode_impl(local)
+    } else {
+        global_conv_impl()
+    }
+}
+
+/// Sets the process-global convolution lowering, overriding `GANDEF_CONV`.
+pub fn set_conv_impl(mode: ConvImpl) {
+    GLOBAL_CONV.store(encode_impl(mode), Ordering::Relaxed);
+}
+
+/// Runs `f` with the convolution lowering forced to `mode` on the calling
+/// thread, restoring the previous state afterwards (also on panic). The
+/// lowering is consulted once per [`conv2d`] / [`conv2d_backward`] call,
+/// before any pool fan-out, so the override covers pooled execution.
+pub fn with_conv_impl<T>(mode: ConvImpl, f: impl FnOnce() -> T) -> T {
+    struct Restore(u8);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_CONV.with(|c| c.set(self.0));
+        }
+    }
+    let prev = LOCAL_CONV.with(|c| c.get());
+    let _restore = Restore(prev);
+    LOCAL_CONV.with(|c| c.set(encode_impl(mode)));
+    f()
+}
+
+/// Per-call convolution geometry, shared by the packers and the scatter.
+#[derive(Clone, Copy)]
+struct Geom {
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    ho: usize,
+    wo: usize,
+    stride: usize,
+    pad: usize,
+}
+
+impl Geom {
+    fn new(c: usize, h: usize, w: usize, kh: usize, kw: usize, spec: ConvSpec) -> Geom {
+        Geom {
+            c,
+            h,
+            w,
+            kh,
+            kw,
+            ho: spec.out_dim(h, kh),
+            wo: spec.out_dim(w, kw),
+            stride: spec.stride,
+            pad: spec.pad,
+        }
+    }
+
+    /// Patch depth `C·kh·kw`.
+    fn patch(&self) -> usize {
+        self.c * self.kh * self.kw
+    }
+
+    /// Output pixels per example, `Ho·Wo`.
+    fn pixels(&self) -> usize {
+        self.ho * self.wo
+    }
+}
+
+/// Implicit-GEMM B-panel source for the forward pass: `opB[j, p]` is patch
+/// element `j = (ch, ky, kx)` of output pixel `p = (oy, ox)` of one
+/// example, gathered straight from the NCHW input. With stride 1 a panel
+/// row covers consecutive output pixels of one image line, so the gather
+/// is a border-clipped `copy_from_slice` instead of a scalar loop.
+struct PatchColsB<'a> {
+    /// One example's `[C, H, W]` block.
+    src: &'a [f32],
+    g: Geom,
+}
+
+impl PackB for PatchColsB<'_> {
+    fn pack_b_panel(&self, dst: &mut [f32], k0: usize, kc: usize, j0: usize, nr: usize) {
+        let g = self.g;
+        dst.fill(0.0);
+        for kk in 0..kc {
+            let j = k0 + kk;
+            let ch = j / (g.kh * g.kw);
+            let r = j % (g.kh * g.kw);
+            let (ky, kx) = (r / g.kw, r % g.kw);
+            let row = &mut dst[kk * NR..(kk + 1) * NR];
+            let mut jj = 0;
+            while jj < nr {
+                let p = j0 + jj;
+                let (oy, ox) = (p / g.wo, p % g.wo);
+                // Consecutive pixels within one output row share an input
+                // line; the panel may span several output rows.
+                let run = (nr - jj).min(g.wo - ox);
+                let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                if iy >= 0 && (iy as usize) < g.h {
+                    let line = (ch * g.h + iy as usize) * g.w;
+                    if g.stride == 1 {
+                        // Input columns form one contiguous span; clip it to
+                        // the image borders and bulk-copy.
+                        let ix0 = (ox + kx) as isize - g.pad as isize;
+                        let lo = (-ix0).max(0) as usize;
+                        let hi = run.min((g.w as isize - ix0).max(0) as usize);
+                        if lo < hi {
+                            let s = (ix0 + lo as isize) as usize;
+                            row[jj + lo..jj + hi]
+                                .copy_from_slice(&self.src[line + s..line + s + (hi - lo)]);
+                        }
+                    } else {
+                        for t in 0..run {
+                            let ix = ((ox + t) * g.stride + kx) as isize - g.pad as isize;
+                            if ix >= 0 && (ix as usize) < g.w {
+                                row[jj + t] = self.src[line + ix as usize];
+                            }
+                        }
+                    }
+                }
+                jj += run;
+            }
+        }
+    }
+}
+
+/// Implicit-GEMM B-panel source for the weight gradient: the im2col matrix
+/// with *pixels as the depth axis* — `opB[pix, j]` is patch element `j` of
+/// global output pixel `pix = (b, oy, ox)` — because `∂W = gᵀ · cols`
+/// contracts over all `N·Ho·Wo` pixels.
+struct PatchRowsB<'a> {
+    /// The full `[N, C, H, W]` input.
+    src: &'a [f32],
+    g: Geom,
+}
+
+impl PackB for PatchRowsB<'_> {
+    fn pack_b_panel(&self, dst: &mut [f32], k0: usize, kc: usize, j0: usize, nr: usize) {
+        let g = self.g;
+        let (khw, pixels) = (g.kh * g.kw, g.pixels());
+        dst.fill(0.0);
+        for kk in 0..kc {
+            let pix = k0 + kk;
+            let (b, p) = (pix / pixels, pix % pixels);
+            let (oy, ox) = (p / g.wo, p % g.wo);
+            let iy0 = (oy * g.stride) as isize - g.pad as isize;
+            let ix0 = (ox * g.stride) as isize - g.pad as isize;
+            let row = &mut dst[kk * NR..(kk + 1) * NR];
+            for (jj, v) in row[..nr].iter_mut().enumerate() {
+                let j = j0 + jj;
+                let ch = j / khw;
+                let r = j % khw;
+                let iy = iy0 + (r / g.kw) as isize;
+                let ix = ix0 + (r % g.kw) as isize;
+                if iy >= 0 && (iy as usize) < g.h && ix >= 0 && (ix as usize) < g.w {
+                    *v = self.src[((b * g.c + ch) * g.h + iy as usize) * g.w + ix as usize];
+                }
+            }
+        }
+    }
+}
+
+/// A-panel source for the weight gradient: `opA[o, pix] = grad_out[b, o,
+/// oy, ox]` — the transposed NHWC row matrix read directly out of the NCHW
+/// gradient in example-contiguous runs, so the transpose never
+/// materializes either.
+struct GradRowsA<'a> {
+    /// The full `[N, O, Ho, Wo]` upstream gradient.
+    grad: &'a [f32],
+    o: usize,
+    /// `Ho·Wo`.
+    pixels: usize,
+}
+
+impl PackA for GradRowsA<'_> {
+    fn pack_a_block(&self, pa: &mut [f32], row0: usize, mc: usize, k0: usize, kc: usize) {
+        let panels = mc.div_ceil(MR);
+        for ip in 0..panels {
+            let i0 = ip * MR;
+            let mr = MR.min(mc - i0);
+            let dst = &mut pa[ip * kc * MR..(ip + 1) * kc * MR];
+            if mr < MR {
+                dst.fill(0.0);
+            }
+            for i in 0..mr {
+                let och = row0 + i0 + i;
+                let (mut b, mut p) = (k0 / self.pixels, k0 % self.pixels);
+                let mut kk = 0;
+                while kk < kc {
+                    let run = (kc - kk).min(self.pixels - p);
+                    let src = &self.grad[(b * self.o + och) * self.pixels + p..][..run];
+                    for (t, &v) in src.iter().enumerate() {
+                        dst[(kk + t) * MR + i] = v;
+                    }
+                    kk += run;
+                    p += run;
+                    if p == self.pixels {
+                        p = 0;
+                        b += 1;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -105,12 +380,11 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize, spec: ConvSpec) -> Tensor {
 pub fn col2im(cols: &Tensor, input_dims: &[usize], kh: usize, kw: usize, spec: ConvSpec) -> Tensor {
     assert_eq!(input_dims.len(), 4, "col2im: input_dims must be [N,C,H,W]");
     let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
-    let ho = spec.out_dim(h, kh);
-    let wo = spec.out_dim(w, kw);
-    let cols_w = c * kh * kw;
+    let g = Geom::new(c, h, w, kh, kw, spec);
+    let cols_w = g.patch();
     assert_eq!(
         cols.shape().dims(),
-        &[n * ho * wo, cols_w],
+        &[n * g.pixels(), cols_w],
         "col2im: column matrix shape mismatch"
     );
     let src = cols.as_slice();
@@ -121,46 +395,116 @@ pub fn col2im(cols: &Tensor, input_dims: &[usize], kh: usize, kw: usize, spec: C
     pool::parallel_for_mut(&mut out, c * h * w, 1, |b0, chunk| {
         for (bi, block) in chunk.chunks_mut(c * h * w).enumerate() {
             let b = b0 + bi;
-            for oy in 0..ho {
-                for ox in 0..wo {
-                    let row = ((b * ho + oy) * wo + ox) * cols_w;
-                    let iy0 = (oy * spec.stride) as isize - spec.pad as isize;
-                    let ix0 = (ox * spec.stride) as isize - spec.pad as isize;
-                    for ch in 0..c {
-                        let chan = ch * h * w;
-                        for ky in 0..kh {
-                            let iy = iy0 + ky as isize;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            let line = chan + iy as usize * w;
-                            let srow = row + (ch * kh + ky) * kw;
-                            for kx in 0..kw {
-                                let ix = ix0 + kx as isize;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                block[line + ix as usize] += src[srow + kx];
-                            }
-                        }
-                    }
-                }
-            }
+            let rows = &src[b * g.pixels() * cols_w..(b + 1) * g.pixels() * cols_w];
+            scatter_patch_rows(rows, block, g);
         }
     });
     Tensor::from_vec(input_dims.to_vec(), out)
 }
 
+/// The per-example col2im body, shared by [`col2im`] and the fused data
+/// gradient: scatters `[Ho·Wo, C·kh·kw]` patch-gradient rows into a
+/// `[C, H, W]` block, accumulating where patches overlap. One fixed loop
+/// order means the fused and im2col backward paths produce bit-identical
+/// sums from identical rows.
+fn scatter_patch_rows(rows: &[f32], block: &mut [f32], g: Geom) {
+    let patch = g.patch();
+    for oy in 0..g.ho {
+        for ox in 0..g.wo {
+            let row = (oy * g.wo + ox) * patch;
+            let iy0 = (oy * g.stride) as isize - g.pad as isize;
+            let ix0 = (ox * g.stride) as isize - g.pad as isize;
+            for ch in 0..g.c {
+                let chan = ch * g.h * g.w;
+                for ky in 0..g.kh {
+                    let iy = iy0 + ky as isize;
+                    if iy < 0 || iy >= g.h as isize {
+                        continue;
+                    }
+                    let line = chan + iy as usize * g.w;
+                    let srow = row + (ch * g.kh + ky) * g.kw;
+                    for kx in 0..g.kw {
+                        let ix = ix0 + kx as isize;
+                        if ix < 0 || ix >= g.w as isize {
+                            continue;
+                        }
+                        block[line + ix as usize] += rows[srow + kx];
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Forward 2-D convolution: `input [N, C, H, W]` with filters
 /// `weight [O, C, kh, kw]` producing `[N, O, Ho, Wo]`.
 ///
-/// Returns the output together with the im2col matrix, which the caller
-/// should keep for the backward pass ([`conv2d_backward`]).
+/// Dispatches on [`conv_impl`]: the default fused implicit-GEMM path
+/// gathers patches directly into GEMM panels; `GANDEF_CONV=im2col` selects
+/// the reference lowering. Under [`crate::accum::Accum::F64`] the two
+/// paths are bit-identical.
 ///
 /// # Panics
 ///
 /// Panics on rank or channel mismatches.
-pub fn conv2d(input: &Tensor, weight: &Tensor, spec: ConvSpec) -> (Tensor, Tensor) {
+pub fn conv2d(input: &Tensor, weight: &Tensor, spec: ConvSpec) -> Tensor {
+    assert_eq!(input.rank(), 4, "conv2d input must be [N, C, H, W]");
+    assert_eq!(weight.rank(), 4, "conv2d weight must be [O, C, kh, kw]");
+    assert_eq!(
+        input.dim(1),
+        weight.dim(1),
+        "conv2d channel mismatch: input {} vs weight {}",
+        input.shape(),
+        weight.shape()
+    );
+    match conv_impl() {
+        ConvImpl::Fused => conv2d_fused(input, weight, spec),
+        ConvImpl::Im2col => conv2d_im2col(input, weight, spec).0,
+    }
+}
+
+/// Fused implicit-GEMM forward pass: one `[O, C·kh·kw] × [C·kh·kw, Ho·Wo]`
+/// GEMM per example, with the patch operand gathered on the fly by
+/// [`PatchColsB`]. The per-example output block is `[O, Ho, Wo]` row-major
+/// — already NCHW — so there is no transpose either.
+fn conv2d_fused(input: &Tensor, weight: &Tensor, spec: ConvSpec) -> Tensor {
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let (o, kh, kw) = (weight.dim(0), weight.dim(2), weight.dim(3));
+    let g = Geom::new(c, h, w, kh, kw, spec);
+    let (pixels, patch) = (g.pixels(), g.patch());
+    // Sampled once on the calling thread so scoped accum overrides apply
+    // inside the per-example pool jobs.
+    let mode = accum::accum();
+    let src = input.as_slice();
+    let w_mat = MatRef {
+        data: weight.as_slice(),
+        rs: patch,
+        cs: 1,
+    };
+    let mut out = vec![0.0f32; n * o * pixels];
+    // Examples are independent, so the batch loop threads through the
+    // pool; the nested GEMM fan-out runs inline inside each job.
+    pool::parallel_for_mut(&mut out, o * pixels, 1, |b0, chunk| {
+        for (bi, block) in chunk.chunks_mut(o * pixels).enumerate() {
+            let b = b0 + bi;
+            let patches = PatchColsB {
+                src: &src[b * c * h * w..(b + 1) * c * h * w],
+                g,
+            };
+            linalg::gemm_panels(mode, o, patch, pixels, &w_mat, &patches, block);
+        }
+    });
+    Tensor::from_vec(vec![n, o, g.ho, g.wo], out)
+}
+
+/// Reference im2col-then-GEMM forward pass (the pre-fusion lowering, and
+/// the equality oracle for the fused path). Returns the output together
+/// with the im2col matrix, which [`conv2d_backward_im2col`] reuses.
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches.
+pub fn conv2d_im2col(input: &Tensor, weight: &Tensor, spec: ConvSpec) -> (Tensor, Tensor) {
     assert_eq!(input.rank(), 4, "conv2d input must be [N, C, H, W]");
     assert_eq!(weight.rank(), 4, "conv2d weight must be [O, C, kh, kw]");
     assert_eq!(
@@ -183,13 +527,139 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, spec: ConvSpec) -> (Tensor, Tenso
 }
 
 /// Backward 2-D convolution. Given the upstream gradient
-/// `grad_out [N, O, Ho, Wo]`, the saved `cols` from [`conv2d`], the filter
-/// bank and the input geometry, returns `(grad_input, grad_weight)`.
+/// `grad_out [N, O, Ho, Wo]`, the forward `input` and the filter bank,
+/// returns `(grad_input, grad_weight)`.
+///
+/// Dispatches on [`conv_impl`] like [`conv2d`]. The fused path computes
+/// `∂W` as one implicit GEMM contracting over all output pixels (patches
+/// gathered by [`PatchRowsB`], the transposed gradient by [`GradRowsA`])
+/// and `∂x` as a per-example GEMM-then-scatter, never materializing the
+/// column matrix or its gradient. Under [`crate::accum::Accum::F64`] both
+/// paths are bit-identical.
 ///
 /// # Panics
 ///
 /// Panics on geometry mismatches.
 pub fn conv2d_backward(
+    grad_out: &Tensor,
+    input: &Tensor,
+    weight: &Tensor,
+    spec: ConvSpec,
+) -> (Tensor, Tensor) {
+    assert_eq!(
+        input.rank(),
+        4,
+        "conv2d_backward input must be [N, C, H, W]"
+    );
+    assert_eq!(
+        weight.rank(),
+        4,
+        "conv2d_backward weight must be [O, C, kh, kw]"
+    );
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let (o, kh, kw) = (weight.dim(0), weight.dim(2), weight.dim(3));
+    assert_eq!(
+        c,
+        weight.dim(1),
+        "conv2d_backward channel mismatch: input {} vs weight {}",
+        input.shape(),
+        weight.shape()
+    );
+    let g = Geom::new(c, h, w, kh, kw, spec);
+    assert_eq!(
+        grad_out.shape().dims(),
+        &[n, o, g.ho, g.wo],
+        "conv2d_backward gradient shape mismatch"
+    );
+    match conv_impl() {
+        ConvImpl::Fused => {
+            // Sampled once, before any pool fan-out (see `conv2d_fused`).
+            let mode = accum::accum();
+            let grad_w = weight_grad_fused(mode, grad_out, input, o, g);
+            let grad_x = data_grad_fused(mode, grad_out, weight, n, o, g);
+            (grad_x, grad_w)
+        }
+        ConvImpl::Im2col => {
+            let cols = im2col(input, kh, kw, spec);
+            conv2d_backward_im2col(grad_out, &cols, weight, input.shape().dims(), spec)
+        }
+    }
+}
+
+/// Fused weight gradient: `∂W [O, C·kh·kw] = gᵀ × cols`, contracted over
+/// all `N·Ho·Wo` output pixels with both operands gathered implicitly.
+/// The f64-mode chain runs in global pixel order across `KC` blocks,
+/// exactly the order `matmul_tn` uses on the materialized matrices, which
+/// is what makes the fused and im2col paths bit-identical under
+/// [`Accum::F64`].
+fn weight_grad_fused(mode: Accum, grad_out: &Tensor, input: &Tensor, o: usize, g: Geom) -> Tensor {
+    let n = input.dim(0);
+    let a = GradRowsA {
+        grad: grad_out.as_slice(),
+        o,
+        pixels: g.pixels(),
+    };
+    let b = PatchRowsB {
+        src: input.as_slice(),
+        g,
+    };
+    let mut out = vec![0.0f32; o * g.patch()];
+    linalg::gemm_panels(mode, o, n * g.pixels(), g.patch(), &a, &b, &mut out);
+    Tensor::from_vec(vec![o, g.c, g.kh, g.kw], out)
+}
+
+/// Fused data gradient: per example, `∂cols_b = g_b × W` is tiled into a
+/// scratch buffer by the packed kernel and immediately scattered col2im-
+/// style into that example's `[C, H, W]` gradient block — the full
+/// `[N·Ho·Wo, C·kh·kw]` gradient matrix never exists. Examples parallelize
+/// exactly like [`col2im`], with a fixed within-example order.
+fn data_grad_fused(
+    mode: Accum,
+    grad_out: &Tensor,
+    weight: &Tensor,
+    n: usize,
+    o: usize,
+    g: Geom,
+) -> Tensor {
+    let (pixels, patch) = (g.pixels(), g.patch());
+    let gdat = grad_out.as_slice();
+    let w_mat = MatRef {
+        data: weight.as_slice(),
+        rs: patch,
+        cs: 1,
+    };
+    let plane = g.c * g.h * g.w;
+    let mut out = vec![0.0f32; n * plane];
+    pool::parallel_for_mut(&mut out, plane, 1, |b0, chunk| {
+        // Per-task scratch for one example's ∂cols rows, reused across the
+        // examples this task owns.
+        let mut rows = vec![0.0f32; pixels * patch];
+        for (bi, block) in chunk.chunks_mut(plane).enumerate() {
+            let b = b0 + bi;
+            rows.fill(0.0);
+            // The example's gradient as a strided [Ho·Wo, O] view: NCHW
+            // means pixel stride 1, channel stride Ho·Wo.
+            let gb = MatRef {
+                data: &gdat[b * o * pixels..(b + 1) * o * pixels],
+                rs: 1,
+                cs: pixels,
+            };
+            linalg::gemm_panels(mode, pixels, o, patch, &gb, &w_mat, &mut rows);
+            scatter_patch_rows(&rows, block, g);
+        }
+    });
+    Tensor::from_vec(vec![n, g.c, g.h, g.w], out)
+}
+
+/// Reference im2col backward pass: given the saved `cols` from
+/// [`conv2d_im2col`], computes `∂W = gᵀ·cols` and scatters
+/// `∂cols = g·W` back through [`col2im`]. Kept as the equality oracle for
+/// the fused backward path.
+///
+/// # Panics
+///
+/// Panics on geometry mismatches.
+pub fn conv2d_backward_im2col(
     grad_out: &Tensor,
     cols: &Tensor,
     weight: &Tensor,
@@ -376,6 +846,7 @@ pub fn global_avg_pool_backward(grad_out: &Tensor, input_dims: &[usize]) -> Tens
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::accum::{with_accum, Accum};
 
     /// Direct (definition-level) convolution for cross-checking.
     fn naive_conv(input: &Tensor, weight: &Tensor, spec: ConvSpec) -> Tensor {
@@ -410,6 +881,33 @@ mod tests {
         out
     }
 
+    fn pseudo(dims: &[usize], salt: usize) -> Tensor {
+        Tensor::from_fn(dims, |i| (((i * 31 + salt * 17) % 97) as f32 - 48.0) / 97.0)
+    }
+
+    /// Geometry edge cases shared by the fused-vs-oracle tests:
+    /// `(n, c, h, w, o, kh, kw, stride, pad)`.
+    const GEOMETRIES: &[(
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+    )] = &[
+        (2, 3, 6, 6, 4, 3, 3, 1, 0),  // plain
+        (1, 2, 7, 7, 3, 3, 3, 2, 1),  // stride 2, odd image
+        (2, 1, 4, 4, 2, 1, 1, 1, 0),  // 1x1 kernel
+        (1, 1, 4, 4, 1, 1, 1, 2, 0),  // 1x1 kernel, strided
+        (1, 2, 4, 4, 2, 3, 3, 1, 3),  // padding larger than the input margin
+        (1, 1, 3, 5, 5, 3, 3, 1, 2),  // rectangular, o > MR
+        (3, 2, 5, 7, 17, 2, 4, 1, 1), // o > NR, rectangular kernel
+        (1, 3, 9, 9, 4, 3, 3, 3, 1),  // stride 3
+    ];
+
     #[test]
     fn out_dim_math() {
         let s = ConvSpec { stride: 1, pad: 0 };
@@ -421,11 +919,24 @@ mod tests {
     }
 
     #[test]
+    fn conv_impl_override_scopes_and_restores() {
+        let outer = conv_impl();
+        let seen = with_conv_impl(ConvImpl::Im2col, conv_impl);
+        assert_eq!(seen, ConvImpl::Im2col);
+        assert_eq!(conv_impl(), outer);
+        let seen = with_conv_impl(ConvImpl::Fused, || {
+            with_conv_impl(ConvImpl::Im2col, conv_impl)
+        });
+        assert_eq!(seen, ConvImpl::Im2col);
+        assert_eq!(conv_impl(), outer);
+    }
+
+    #[test]
     fn conv_matches_naive_no_pad() {
         let input = Tensor::from_fn(&[2, 3, 6, 6], |i| ((i * 7 % 23) as f32 - 11.0) / 23.0);
         let weight = Tensor::from_fn(&[4, 3, 3, 3], |i| ((i * 5 % 17) as f32 - 8.0) / 17.0);
         let spec = ConvSpec::default();
-        let (fast, _) = conv2d(&input, &weight, spec);
+        let fast = conv2d(&input, &weight, spec);
         let slow = naive_conv(&input, &weight, spec);
         assert!(fast.allclose(&slow, 1e-4));
     }
@@ -435,7 +946,7 @@ mod tests {
         let input = Tensor::from_fn(&[1, 2, 7, 7], |i| (i as f32 * 0.13).sin());
         let weight = Tensor::from_fn(&[3, 2, 3, 3], |i| (i as f32 * 0.21).cos());
         let spec = ConvSpec { stride: 2, pad: 1 };
-        let (fast, _) = conv2d(&input, &weight, spec);
+        let fast = conv2d(&input, &weight, spec);
         let slow = naive_conv(&input, &weight, spec);
         assert_eq!(fast.shape().dims(), &[1, 3, 4, 4]);
         assert!(fast.allclose(&slow, 1e-4));
@@ -446,8 +957,117 @@ mod tests {
         // A 1x1 kernel with weight 1 on a single channel is the identity.
         let input = Tensor::from_fn(&[1, 1, 4, 4], |i| i as f32);
         let weight = Tensor::ones(&[1, 1, 1, 1]);
-        let (out, _) = conv2d(&input, &weight, ConvSpec::default());
+        let out = conv2d(&input, &weight, ConvSpec::default());
         assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn fused_matches_im2col_oracle_across_geometries() {
+        for &(n, c, h, w, o, kh, kw, stride, pad) in GEOMETRIES {
+            let spec = ConvSpec { stride, pad };
+            let x = pseudo(&[n, c, h, w], n + h + pad);
+            let wt = pseudo(&[o, c, kh, kw], o + kw + stride);
+            let fused = with_conv_impl(ConvImpl::Fused, || conv2d(&x, &wt, spec));
+            let (oracle, _) = conv2d_im2col(&x, &wt, spec);
+            assert_eq!(fused.shape(), oracle.shape());
+            assert!(
+                fused.allclose(&oracle, 1e-5),
+                "forward mismatch for {:?}",
+                (n, c, h, w, o, kh, kw, stride, pad)
+            );
+            // Under f64 accumulation both paths compute the identical
+            // exactly-rounded k-ordered chain per element: bit-equal.
+            let fused64 = with_accum(Accum::F64, || {
+                with_conv_impl(ConvImpl::Fused, || conv2d(&x, &wt, spec))
+            });
+            let oracle64 = with_accum(Accum::F64, || conv2d_im2col(&x, &wt, spec).0);
+            assert_eq!(
+                fused64.as_slice(),
+                oracle64.as_slice(),
+                "f64 forward not bit-identical for {:?}",
+                (n, c, h, w, o, kh, kw, stride, pad)
+            );
+        }
+    }
+
+    #[test]
+    fn fused_backward_matches_im2col_oracle_across_geometries() {
+        for &(n, c, h, w, o, kh, kw, stride, pad) in GEOMETRIES {
+            let spec = ConvSpec { stride, pad };
+            let x = pseudo(&[n, c, h, w], 3 * n + w);
+            let wt = pseudo(&[o, c, kh, kw], 5 * o + kh);
+            let out = with_conv_impl(ConvImpl::Fused, || conv2d(&x, &wt, spec));
+            let gout = pseudo(out.shape().dims(), 7 * n + stride);
+            let (fx, fw) =
+                with_conv_impl(ConvImpl::Fused, || conv2d_backward(&gout, &x, &wt, spec));
+            let (ox, ow) =
+                with_conv_impl(ConvImpl::Im2col, || conv2d_backward(&gout, &x, &wt, spec));
+            assert!(
+                fx.allclose(&ox, 1e-4) && fw.allclose(&ow, 1e-4),
+                "backward mismatch for {:?}",
+                (n, c, h, w, o, kh, kw, stride, pad)
+            );
+            let (fx64, fw64) = with_accum(Accum::F64, || {
+                with_conv_impl(ConvImpl::Fused, || conv2d_backward(&gout, &x, &wt, spec))
+            });
+            let (ox64, ow64) = with_accum(Accum::F64, || {
+                with_conv_impl(ConvImpl::Im2col, || conv2d_backward(&gout, &x, &wt, spec))
+            });
+            assert_eq!(
+                fx64.as_slice(),
+                ox64.as_slice(),
+                "f64 data gradient not bit-identical for {:?}",
+                (n, c, h, w, o, kh, kw, stride, pad)
+            );
+            assert_eq!(
+                fw64.as_slice(),
+                ow64.as_slice(),
+                "f64 weight gradient not bit-identical for {:?}",
+                (n, c, h, w, o, kh, kw, stride, pad)
+            );
+        }
+    }
+
+    #[test]
+    fn fused_backward_is_adjoint_of_forward() {
+        // conv2d is linear in each argument, so the backward pass is its
+        // exact adjoint: ⟨conv(x, w), g⟩ = ⟨x, ∂x⟩ = ⟨w, ∂w⟩.
+        let spec = ConvSpec { stride: 2, pad: 1 };
+        let x = pseudo(&[2, 2, 5, 5], 31);
+        let wt = pseudo(&[3, 2, 3, 3], 32);
+        let out = with_conv_impl(ConvImpl::Fused, || conv2d(&x, &wt, spec));
+        let gout = pseudo(out.shape().dims(), 33);
+        let (gx, gw) = with_conv_impl(ConvImpl::Fused, || conv2d_backward(&gout, &x, &wt, spec));
+        let dot = |a: &Tensor, b: &Tensor| {
+            a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .map(|(p, q)| *p as f64 * *q as f64)
+                .sum::<f64>()
+        };
+        let lhs = dot(&out, &gout);
+        let via_x = dot(&x, &gx);
+        let via_w = dot(&wt, &gw);
+        assert!((lhs - via_x).abs() < 1e-3, "⟨y,g⟩ {lhs} vs ⟨x,∂x⟩ {via_x}");
+        assert!((lhs - via_w).abs() < 1e-3, "⟨y,g⟩ {lhs} vs ⟨w,∂w⟩ {via_w}");
+    }
+
+    #[test]
+    fn pooled_and_serial_fused_conv_agree_bitwise() {
+        let spec = ConvSpec { stride: 1, pad: 1 };
+        let x = pseudo(&[8, 3, 9, 9], 41);
+        let wt = pseudo(&[5, 3, 3, 3], 42);
+        for mode in [Accum::F32, Accum::F64] {
+            let fwd = with_accum(mode, || conv2d(&x, &wt, spec));
+            let fwd_serial = pool::with_serial(|| with_accum(mode, || conv2d(&x, &wt, spec)));
+            assert_eq!(fwd.as_slice(), fwd_serial.as_slice());
+            let gout = pseudo(fwd.shape().dims(), 43);
+            let (gx, gw) = with_accum(mode, || conv2d_backward(&gout, &x, &wt, spec));
+            let (sx, sw) =
+                pool::with_serial(|| with_accum(mode, || conv2d_backward(&gout, &x, &wt, spec)));
+            assert_eq!(gx.as_slice(), sx.as_slice());
+            assert_eq!(gw.as_slice(), sw.as_slice());
+        }
     }
 
     #[test]
@@ -510,10 +1130,10 @@ mod tests {
         let input = Tensor::from_fn(&[1, 1, 5, 5], |i| (i as f32 * 0.31).sin());
         let mut weight = Tensor::from_fn(&[2, 1, 3, 3], |i| (i as f32 * 0.17).cos());
         let spec = ConvSpec::default();
-        let loss = |w: &Tensor| conv2d(&input, w, spec).0.square().sum() * 0.5;
+        let loss = |w: &Tensor| conv2d(&input, w, spec).square().sum() * 0.5;
 
-        let (out, cols) = conv2d(&input, &weight, spec);
-        let (_, grad_w) = conv2d_backward(&out, &cols, &weight, &[1, 1, 5, 5], spec);
+        let out = conv2d(&input, &weight, spec);
+        let (_, grad_w) = conv2d_backward(&out, &input, &weight, spec);
 
         let eps = 1e-3;
         for probe in [0usize, 5, 11, 17] {
@@ -537,10 +1157,10 @@ mod tests {
         let mut input = Tensor::from_fn(&[1, 2, 4, 4], |i| (i as f32 * 0.23).sin());
         let weight = Tensor::from_fn(&[2, 2, 3, 3], |i| (i as f32 * 0.19).cos());
         let spec = ConvSpec { stride: 1, pad: 1 };
-        let loss = |x: &Tensor| conv2d(x, &weight, spec).0.square().sum() * 0.5;
+        let loss = |x: &Tensor| conv2d(x, &weight, spec).square().sum() * 0.5;
 
-        let (out, cols) = conv2d(&input, &weight, spec);
-        let (grad_x, _) = conv2d_backward(&out, &cols, &weight, &[1, 2, 4, 4], spec);
+        let out = conv2d(&input, &weight, spec);
+        let (grad_x, _) = conv2d_backward(&out, &input, &weight, spec);
 
         let eps = 1e-3;
         for probe in [0usize, 7, 15, 30] {

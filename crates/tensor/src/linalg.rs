@@ -28,6 +28,14 @@
 //!   portable or the AVX2 path), so the result equals the naive
 //!   `k`-ordered `f64` dot product bit-for-bit — independent of tiling,
 //!   thread count and `GANDEF_NO_FMA`.
+//! * The packing stage is abstracted behind the [`PackA`] / [`PackB`]
+//!   panel-source traits: the blocked driver ([`gemm_panels`]) only ever
+//!   sees packed panels, so any operand that can *gather itself* into
+//!   panel layout reuses the full microkernel/blocking/pool machinery.
+//!   [`MatRef`] (a strided matrix view) is the implementation the three
+//!   public matmuls use; [`crate::conv`] provides implicit-GEMM packers
+//!   that gather convolution patches directly into B-panels without ever
+//!   materializing an im2col matrix.
 
 use crate::accum::{self, Accum};
 use crate::pool;
@@ -38,11 +46,11 @@ use crate::Tensor;
 /// every cycle (~2.9× the seed kernel single-threaded on the reference
 /// box). The portable fallback runs the same tile through autovectorized
 /// scalar code.
-const MR: usize = 4;
+pub(crate) const MR: usize = 4;
 /// Columns per microkernel tile (two 8-wide vectors).
-const NR: usize = 16;
+pub(crate) const NR: usize = 16;
 /// Depth (k) blocking: one `KC × NR` B panel is 8 KiB, L1-resident.
-const KC: usize = 256;
+pub(crate) const KC: usize = 256;
 /// Row blocking for the packed A block (`MC × KC` ≈ 64 KiB, L2-resident).
 const MC: usize = 64;
 
@@ -53,21 +61,78 @@ const PARALLEL_THRESHOLD: usize = 1 << 18;
 /// simple register-tiled loop — packing overhead dominates at this size.
 const TINY_THRESHOLD: usize = 1 << 13;
 
+/// Packed-B buffers below this many elements are packed serially; larger
+/// ones parallelize over `KC` depth blocks (each block is a disjoint
+/// region of the buffer, so the pack is deterministic for any pool size).
+const PACK_PARALLEL_THRESHOLD: usize = 1 << 16;
+
 /// A read-only strided view of a rank-2 operand. Transposition is a stride
 /// swap, so all three public GEMM variants share one kernel.
 #[derive(Clone, Copy)]
-struct MatRef<'a> {
-    data: &'a [f32],
+pub(crate) struct MatRef<'a> {
+    pub(crate) data: &'a [f32],
     /// Element distance between rows.
-    rs: usize,
+    pub(crate) rs: usize,
     /// Element distance between columns.
-    cs: usize,
+    pub(crate) cs: usize,
 }
 
 impl MatRef<'_> {
     #[inline(always)]
     fn at(&self, i: usize, j: usize) -> f32 {
         self.data[i * self.rs + j * self.cs]
+    }
+}
+
+/// A panel source for the A operand: anything that can gather an
+/// `mc × kc` block of `opA` into the microkernel's `MR`-row panel layout
+/// (`[row-panel][kk][MR]`, ragged last panel zero-padded). Implementations
+/// must be pure gathers — the same arguments always produce the same
+/// panels — so the blocked driver stays deterministic under pooling.
+pub(crate) trait PackA: Sync {
+    /// Writes rows `row0..row0+mc` × depths `k0..k0+kc` of `opA` into `pa`.
+    fn pack_a_block(&self, pa: &mut [f32], row0: usize, mc: usize, k0: usize, kc: usize);
+}
+
+/// A panel source for the B operand: anything that can gather one
+/// `kc × NR` column panel of `opB` into `[kk][NR]` layout. `dst` holds
+/// exactly `kc * NR` elements and may contain stale data: implementations
+/// must fill all of it, zeroing the `nr..NR` padding columns.
+pub(crate) trait PackB: Sync {
+    /// Writes depths `k0..k0+kc` × columns `j0..j0+nr` of `opB` into `dst`.
+    fn pack_b_panel(&self, dst: &mut [f32], k0: usize, kc: usize, j0: usize, nr: usize);
+}
+
+impl PackA for MatRef<'_> {
+    fn pack_a_block(&self, pa: &mut [f32], row0: usize, mc: usize, k0: usize, kc: usize) {
+        let panels = mc.div_ceil(MR);
+        for ip in 0..panels {
+            let i0 = ip * MR;
+            let mr = MR.min(mc - i0);
+            let dst = &mut pa[ip * kc * MR..(ip + 1) * kc * MR];
+            for kk in 0..kc {
+                let col = &mut dst[kk * MR..(kk + 1) * MR];
+                for (i, v) in col.iter_mut().enumerate() {
+                    *v = if i < mr {
+                        self.at(row0 + i0 + i, k0 + kk)
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl PackB for MatRef<'_> {
+    fn pack_b_panel(&self, dst: &mut [f32], k0: usize, kc: usize, j0: usize, nr: usize) {
+        for kk in 0..kc {
+            let row = &mut dst[kk * NR..(kk + 1) * NR];
+            for (j, v) in row[..nr].iter_mut().enumerate() {
+                *v = self.at(k0 + kk, j0 + j);
+            }
+            row[nr..].fill(0.0);
+        }
     }
 }
 
@@ -205,15 +270,37 @@ fn gemm(m: usize, k: usize, n: usize, a: MatRef<'_>, b: MatRef<'_>, out: &mut [f
         return;
     }
     let mode = accum::accum();
-    let work = m * k * n;
-    if work <= TINY_THRESHOLD {
+    if m * k * n <= TINY_THRESHOLD {
         match mode {
             Accum::F32 => gemm_tiny(m, k, n, a, b, out),
             Accum::F64 => gemm_tiny_f64(m, k, n, a, b, out),
         }
         return;
     }
-    let packed_b = pack_b(k, n, b);
+    gemm_panels(mode, m, k, n, &a, &b, out);
+}
+
+/// The packed, blocked GEMM driver over arbitrary panel sources:
+/// `out[m × n] += opA[m × k] · opB[k × n]` with `out` starting zeroed.
+///
+/// `mode` is passed in (not sampled here) so callers that fan out *before*
+/// reaching the GEMM — e.g. the per-example implicit-GEMM convolution —
+/// can sample [`crate::accum::accum`] once on the submitting thread and
+/// have the scoped override apply inside pool workers.
+pub(crate) fn gemm_panels<A: PackA, B: PackB>(
+    mode: Accum,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &A,
+    b: &B,
+    out: &mut [f32],
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    debug_assert_eq!(out.len(), m * n, "gemm_panels: C buffer shape mismatch");
+    let packed_b = pack_b_panels(k, n, b);
     let np = n.div_ceil(NR);
     let body = |row0: usize, c_chunk: &mut [f32]| match mode {
         Accum::F32 => {
@@ -236,7 +323,7 @@ fn gemm(m: usize, k: usize, n: usize, a: MatRef<'_>, b: MatRef<'_>, out: &mut [f
             }
         }
     };
-    if work < PARALLEL_THRESHOLD {
+    if m * k * n < PARALLEL_THRESHOLD {
         body(0, out);
     } else {
         pool::parallel_for_mut(out, n, MR, body);
@@ -249,12 +336,12 @@ fn gemm(m: usize, k: usize, n: usize, a: MatRef<'_>, b: MatRef<'_>, out: &mut [f
 /// visit order fixes the per-element reduction order, so both
 /// accumulation modes inherit pool-size invariance from this one loop.
 #[allow(clippy::too_many_arguments)]
-fn for_each_tile(
+fn for_each_tile<A: PackA>(
     k: usize,
     n: usize,
     np: usize,
     rows: usize,
-    a: MatRef<'_>,
+    a: &A,
     packed_b: &[f32],
     row0: usize,
     mut tile: impl FnMut(usize, &[f32], &[f32], usize, usize, usize, usize),
@@ -265,7 +352,7 @@ fn for_each_tile(
         let b_base = kb * np * NR;
         for i0 in (0..rows).step_by(MC) {
             let mc = MC.min(rows - i0);
-            pack_a(&mut pa, a, row0 + i0, mc, kb, kc);
+            a.pack_a_block(&mut pa, row0 + i0, mc, kb, kc);
             for jp in 0..np {
                 let j0 = jp * NR;
                 let nr = NR.min(n - j0);
@@ -284,48 +371,36 @@ fn for_each_tile(
 
 /// Packs `opB` into `[kb-block][column-panel][kk][NR]` layout: each `KC`
 /// depth-block holds `ceil(n / NR)` contiguous `kc × NR` panels, with edge
-/// panels zero-padded so the microkernel never branches on width.
-fn pack_b(k: usize, n: usize, b: MatRef<'_>) -> Vec<f32> {
+/// panels zero-padded so the microkernel never branches on width. Large
+/// buffers parallelize over depth blocks (each block is a disjoint region,
+/// so the result is identical for any pool size); for expensive gather
+/// sources like the implicit-GEMM patch packers this is where the bulk of
+/// a skinny GEMM's work happens.
+fn pack_b_panels<B: PackB>(k: usize, n: usize, b: &B) -> Vec<f32> {
     let np = n.div_ceil(NR);
     let mut packed = vec![0.0f32; k * np * NR];
-    for kb in (0..k).step_by(KC) {
+    let nblocks = k.div_ceil(KC);
+    let pack_block = |bi: usize, block: &mut [f32]| {
+        let kb = bi * KC;
         let kc = KC.min(k - kb);
-        let base = kb * np * NR;
         for jp in 0..np {
             let j0 = jp * NR;
             let nr = NR.min(n - j0);
-            let dst = &mut packed[base + jp * kc * NR..base + (jp + 1) * kc * NR];
-            for kk in 0..kc {
-                let row = &mut dst[kk * NR..kk * NR + nr];
-                for (j, v) in row.iter_mut().enumerate() {
-                    *v = b.at(kb + kk, j0 + j);
-                }
-            }
+            let dst = &mut block[jp * kc * NR..(jp + 1) * kc * NR];
+            b.pack_b_panel(dst, kb, kc, j0, nr);
+        }
+    };
+    if nblocks > 1 && packed.len() >= PACK_PARALLEL_THRESHOLD {
+        let bounds: Vec<usize> = (0..=nblocks).map(|i| (i * KC).min(k) * np * NR).collect();
+        pool::parallel_for_ranges(&mut packed, &bounds, pack_block);
+    } else {
+        for bi in 0..nblocks {
+            let base = bi * KC * np * NR;
+            let kc = KC.min(k - bi * KC);
+            pack_block(bi, &mut packed[base..base + kc * np * NR]);
         }
     }
     packed
-}
-
-/// Packs an `mc × kc` block of `opA` (rows `row0..row0+mc`, depths
-/// `k0..k0+kc`) into `MR`-row panels: `[row-panel][kk][MR]`, zero-padding
-/// the ragged last panel.
-fn pack_a(pa: &mut [f32], a: MatRef<'_>, row0: usize, mc: usize, k0: usize, kc: usize) {
-    let panels = mc.div_ceil(MR);
-    for ip in 0..panels {
-        let i0 = ip * MR;
-        let mr = MR.min(mc - i0);
-        let dst = &mut pa[ip * kc * MR..(ip + 1) * kc * MR];
-        for kk in 0..kc {
-            let col = &mut dst[kk * MR..(kk + 1) * MR];
-            for (i, v) in col.iter_mut().enumerate() {
-                *v = if i < mr {
-                    a.at(row0 + i0 + i, k0 + kk)
-                } else {
-                    0.0
-                };
-            }
-        }
-    }
 }
 
 /// The register-tiled core: accumulates an `MR × NR` tile over `kc` depth
@@ -862,7 +937,7 @@ mod tests {
                 rs: n,
                 cs: 1,
             };
-            let packed_b = pack_b(k, n, b);
+            let packed_b = pack_b_panels(k, n, &b);
             let np = n.div_ceil(NR);
             let mut acc_gen = vec![0.0f64; m * n];
             let mut acc_avx = vec![0.0f64; m * n];
@@ -871,7 +946,7 @@ mod tests {
                 n,
                 np,
                 m,
-                a,
+                &a,
                 &packed_b,
                 0,
                 |kc, ap, bp, r0, c0, mr, nr| {

@@ -417,6 +417,50 @@ pub fn parallel_for_mut(
     });
 }
 
+/// Splits `data` at the explicit `bounds` offsets into disjoint chunks and
+/// runs `body(chunk_index, chunk)` on each in parallel: chunk `i` is
+/// `data[bounds[i]..bounds[i + 1]]`. Unlike [`parallel_for_mut`] the chunks
+/// may have different sizes — the GEMM B-packing uses this to parallelize
+/// over depth blocks whose last block is ragged.
+///
+/// # Panics
+///
+/// Panics unless `bounds` is non-decreasing, starts at 0 and ends at
+/// `data.len()`.
+pub fn parallel_for_ranges(
+    data: &mut [f32],
+    bounds: &[usize],
+    body: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    assert!(
+        !bounds.is_empty() && bounds[0] == 0 && bounds[bounds.len() - 1] == data.len(),
+        "parallel_for_ranges: bounds must cover 0..{}",
+        data.len()
+    );
+    assert!(
+        bounds.windows(2).all(|w| w[0] <= w[1]),
+        "parallel_for_ranges: bounds must be non-decreasing"
+    );
+    let chunks = bounds.len() - 1;
+    let len = data.len();
+    let ptr = SendPtr(data.as_mut_ptr());
+    parallel_for(chunks, 1, move |r| {
+        let ptr = ptr;
+        for ci in r {
+            let (start, end) = (bounds[ci], bounds[ci + 1]);
+            debug_assert!(
+                start <= end && end <= len,
+                "parallel_for_ranges chunk {ci} [{start}, {end}) escapes the {len}-element buffer"
+            );
+            // SAFETY: `bounds` was validated non-decreasing within the
+            // buffer, so every chunk is an in-bounds sub-slice and chunks
+            // from disjoint ranges never alias.
+            let chunk = unsafe { std::slice::from_raw_parts_mut(ptr.0.add(start), end - start) };
+            body(ci, chunk);
+        }
+    });
+}
+
 /// Evaluates `f(0), …, f(n − 1)` across the pool and collects the results
 /// in index order. The mapping from task index to result slot is fixed, so
 /// the output is identical for any pool size (including 1).
@@ -492,6 +536,33 @@ mod tests {
         if stats().threads_spawned == spawned_before {
             assert_eq!(stats().jobs_completed, jobs_before);
         }
+    }
+
+    #[test]
+    fn parallel_for_ranges_covers_uneven_chunks_once() {
+        let n = 1000;
+        let mut data = vec![0.0f32; n];
+        // Ragged boundaries, including an empty chunk.
+        let bounds = [0usize, 7, 7, 300, 999, 1000];
+        parallel_for_ranges(&mut data, &bounds, |ci, chunk| {
+            for v in chunk.iter_mut() {
+                *v += (ci + 1) as f32;
+            }
+        });
+        assert_eq!(data[0], 1.0);
+        assert_eq!(data[7], 3.0);
+        assert_eq!(data[299], 3.0);
+        assert_eq!(data[300], 4.0);
+        assert_eq!(data[999], 5.0);
+        let total: f32 = data.iter().sum();
+        assert_eq!(total, 7.0 + 3.0 * 293.0 + 4.0 * 699.0 + 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must cover")]
+    fn parallel_for_ranges_rejects_partial_cover() {
+        let mut data = vec![0.0f32; 10];
+        parallel_for_ranges(&mut data, &[0, 5], |_, _| {});
     }
 
     #[test]

@@ -218,10 +218,13 @@ impl Tensor {
         let src = &self.data;
         let mut data = vec![0.0f32; src.len()];
         pool::parallel_for_mut(&mut data, 1, ELEMENTWISE_GRAIN, |start, chunk| {
-            for (i, v) in chunk.iter_mut().enumerate() {
-                // lint:allow(shape) — unary elementwise: `data` is sized
-                // from `src`, so `start + i < src.len()` by construction.
-                *v = f(src[start + i]);
+            // lint:allow(shape) — unary elementwise: `data` is sized from
+            // `src`, so the sub-slice is in bounds by construction. The
+            // slice-zip form carries no per-element bounds checks, so
+            // simple closures autovectorize.
+            let src = &src[start..start + chunk.len()];
+            for (v, &s) in chunk.iter_mut().zip(src) {
+                *v = f(s);
             }
         });
         Tensor {
@@ -381,10 +384,13 @@ impl Tensor {
             let (a, b) = (&self.data, &other.data);
             let mut data = vec![0.0f32; a.len()];
             pool::parallel_for_mut(&mut data, 1, ELEMENTWISE_GRAIN, |start, chunk| {
-                for (i, v) in chunk.iter_mut().enumerate() {
-                    // lint:allow(shape) — guarded by the `shape == shape`
-                    // branch above; `data` is sized from `a`.
-                    *v = f(a[start + i], b[start + i]);
+                // lint:allow(shape) — guarded by the `shape == shape` branch
+                // above; `data` is sized from `a`. Bounds-check-free
+                // slice-zips let arithmetic closures autovectorize.
+                let a = &a[start..start + chunk.len()];
+                let b = &b[start..start + chunk.len()];
+                for ((v, &x), &y) in chunk.iter_mut().zip(a).zip(b) {
+                    *v = f(x, y);
                 }
             });
             return Tensor {
@@ -464,8 +470,11 @@ impl Tensor {
         );
         let b = &other.data;
         pool::parallel_for_mut(&mut self.data, 1, ELEMENTWISE_GRAIN, |start, chunk| {
-            for (i, a) in chunk.iter_mut().enumerate() {
-                *a = f(*a, b[start + i]);
+            // Slice-zip form: no per-element bounds checks, so the axpy /
+            // add_assign closures compile to packed FMA loops.
+            let b = &b[start..start + chunk.len()];
+            for (a, &y) in chunk.iter_mut().zip(b) {
+                *a = f(*a, y);
             }
         });
     }
@@ -478,17 +487,22 @@ impl Tensor {
     ///
     /// Accumulates in `f64` over fixed [`REDUCE_CHUNK`]-sized windows (the
     /// windows run on the pool, the partials fold in index order), so the
-    /// result does not depend on the pool size.
+    /// result does not depend on the pool size. Under
+    /// [`crate::accum::Accum::F64`] each window is a strictly sequential
+    /// chain (the bit-exact oracle order); the default mode sums eight
+    /// interleaved lanes per window, which breaks the f64 add latency
+    /// chain while staying deterministic for any thread count.
     pub fn sum(&self) -> f32 {
+        let mode = crate::accum::accum();
         let n = self.data.len();
         if n <= REDUCE_CHUNK {
-            return self.data.iter().map(|&v| v as f64).sum::<f64>() as f32;
+            return window_sum(&self.data, mode) as f32;
         }
         let chunks = n.div_ceil(REDUCE_CHUNK);
         let partials = pool::parallel_tasks(chunks, |ci| {
             let start = ci * REDUCE_CHUNK;
             let end = (start + REDUCE_CHUNK).min(n);
-            self.data[start..end].iter().map(|&v| v as f64).sum::<f64>()
+            window_sum(&self.data[start..end], mode)
         });
         partials.into_iter().sum::<f64>() as f32
     }
@@ -849,6 +863,32 @@ impl Tensor {
     }
 }
 
+/// Sums one reduction window in `f64`.
+///
+/// Under [`crate::accum::Accum::F64`] the chain is strictly sequential in
+/// index order — the order the bit-exact resume oracle fingerprints.
+/// Otherwise eight independent lanes accumulate interleaved elements and
+/// fold in a fixed pairwise order: same inputs, a different (latency-
+/// hiding) but equally deterministic summation tree.
+fn window_sum(data: &[f32], mode: crate::accum::Accum) -> f64 {
+    match mode {
+        crate::accum::Accum::F64 => data.iter().map(|&v| v as f64).sum::<f64>(),
+        crate::accum::Accum::F32 => {
+            let mut lanes = [0.0f64; 8];
+            let mut it = data.chunks_exact(8);
+            for c in it.by_ref() {
+                for (l, &v) in lanes.iter_mut().zip(c) {
+                    *l += v as f64;
+                }
+            }
+            let tail: f64 = it.remainder().iter().map(|&v| v as f64).sum();
+            ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+                + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
+                + tail
+        }
+    }
+}
+
 /// Numerically stable logistic sigmoid.
 fn stable_sigmoid(x: f32) -> f32 {
     if x >= 0.0 {
@@ -1020,6 +1060,33 @@ mod tests {
         assert_eq!(s.shape().dims(), &[2, 2]);
         // rows: [0+2+4, 1+3+5], [6+8+10, 7+9+11]
         assert_eq!(s.as_slice(), &[6., 9., 24., 27.]);
+    }
+
+    #[test]
+    fn sum_is_pool_invariant_in_both_accum_modes() {
+        use crate::accum::{with_accum, Accum};
+        // Spans several REDUCE_CHUNK windows plus a ragged lane tail.
+        let a = Tensor::from_fn(&[3 * (1 << 16) + 13], |i| {
+            ((i * 31 % 1009) as f32 - 504.0) / 1009.0
+        });
+        for mode in [Accum::F32, Accum::F64] {
+            let pooled = with_accum(mode, || a.sum());
+            let serial = crate::pool::with_serial(|| with_accum(mode, || a.sum()));
+            assert_eq!(pooled.to_bits(), serial.to_bits());
+        }
+        // The f64-mode chain is the strict sequential order the resume
+        // oracle fingerprints — it must match a naive fold exactly.
+        let oracle = a.as_slice().iter().map(|&v| v as f64).sum::<f64>();
+        let chained = with_accum(Accum::F64, || a.sum());
+        // Partials still fold per window; reproduce that fold here.
+        let windowed: f64 = a
+            .as_slice()
+            .chunks(1 << 16)
+            .map(|w| w.iter().map(|&v| v as f64).sum::<f64>())
+            .sum();
+        assert_eq!(chained.to_bits(), (windowed as f32).to_bits());
+        // Both orders agree to f32 for this well-conditioned input.
+        assert!((oracle as f32 - chained).abs() < 1e-4);
     }
 
     #[test]

@@ -88,8 +88,11 @@ out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 ./target/release/bench_kernels --smoke --out "$out/BENCH_smoke.json"
 # Throughput gate: generous 0.3x threshold (see DESIGN.md "Benchmark
-# gate") — catches a kernel silently falling back to a naive path.
-./target/release/bench_diff --baseline BENCH_tensor.json --fresh "$out/BENCH_smoke.json"
+# gate") — catches a kernel silently falling back to a naive path. The
+# --require list pins the kernels the gate must actually compare, so
+# dropping e.g. the fused conv entries from the bench run fails loudly.
+./target/release/bench_diff --baseline BENCH_tensor.json --fresh "$out/BENCH_smoke.json" \
+    --require matmul,conv2d,conv2d_im2col,conv2d_backward,elementwise_add,sum
 
 echo "==> numerics audit: f64 oracle invariance"
 # Under GANDEF_ACCUM=f64 the kernel fingerprints must not depend on the
