@@ -1,0 +1,152 @@
+//! Synthetic heavy-traffic benchmark for the `gandef_serve` batcher.
+//!
+//! Spawns a fleet of closed-loop clients (each submits a request, blocks
+//! on the response, repeats) against a [`Server`] running the standard
+//! 28×28 MLP, records per-request wall-clock latency, and writes three
+//! measurements to `BENCH_serve.json` so the serving-perf trajectory is
+//! tracked in-repo like `BENCH_tensor.json`:
+//!
+//! * `serve_p50` / `serve_p99` — latency percentiles in `ns_per_iter`,
+//!   with `gflops` derived from the per-request model FLOPs (so the
+//!   `bench_diff` ratio gate applies: a collapse in batching efficiency
+//!   shows up as a gflops drop).
+//! * `serve_throughput` — mean ns per completed request over the whole
+//!   run; its `gflops` is sustained model FLOP/s, and the implied
+//!   requests/second is printed for human eyes.
+//!
+//! Usage: `bench_serve [--smoke] [--out PATH]` (default
+//! `BENCH_serve.json`; `--smoke` shrinks the client fleet and request
+//! counts for CI sanity runs).
+
+use std::time::{Duration, Instant};
+
+use gandef_bench::microbench::{self, Measurement};
+use gandef_nn::{zoo, Params};
+use gandef_serve::{ServeConfig, Server};
+use gandef_tensor::rng::Prng;
+use gandef_tensor::Tensor;
+
+const IN_DIM: usize = 28 * 28;
+const HIDDEN: usize = 64;
+const CLASSES: usize = 10;
+
+/// FLOPs of one forward pass through the benchmark MLP for one example
+/// (two dense layers, 2·in·out each; activations are noise at this scale).
+const FLOPS_PER_REQ: u64 = 2 * (IN_DIM as u64 * HIDDEN as u64 + HIDDEN as u64 * CLASSES as u64);
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_serve.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            other => {
+                eprintln!("unknown flag {other}; supported: --smoke --out PATH");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Smoke keeps the full fleet (throughput scales with concurrency, so
+    // a smaller fleet would not be ratio-comparable to the checked-in
+    // baseline) and only shortens the run.
+    let (clients, per_client) = if smoke { (16, 60) } else { (16, 400) };
+    let max_batch = 32;
+
+    let model = zoo::mlp(IN_DIM, HIDDEN, CLASSES);
+    let mut rng = Prng::new(97);
+    let mut params = Params::default();
+    model.init(&mut params, &mut rng);
+    let cfg = ServeConfig::default()
+        .max_batch(max_batch)
+        .max_wait(Duration::from_micros(500))
+        .queue_cap(clients * 4);
+    let server = Server::new(model, params, vec![1, 28, 28], cfg);
+
+    // Closed-loop load: with `clients` in-flight requests the batcher
+    // fuses whatever has accumulated each cycle, so batch sizes adapt to
+    // load instead of being scripted.
+    let inputs: Vec<Tensor> = (0..clients)
+        .map(|_| rng.uniform_tensor(&[1, 28, 28], 0.0, 1.0))
+        .collect();
+    let started = Instant::now();
+    let mut latencies_ns: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .iter()
+            .map(|x| {
+                let server = &server;
+                // lint:allow(spawn) — benchmark *clients* must be real
+                // blocking threads: each one parks in `Pending::wait`,
+                // which would deadlock the compute pool the batcher's
+                // forward pass runs on.
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(per_client);
+                    for _ in 0..per_client {
+                        let t0 = Instant::now();
+                        let y = server
+                            .classify(x.clone())
+                            .expect("request dropped under load");
+                        assert_eq!(y.shape().dims(), &[1, CLASSES]);
+                        lat.push(t0.elapsed().as_nanos() as f64);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall_ns = started.elapsed().as_nanos() as f64;
+    let stats = server.shutdown();
+
+    let total_reqs = latencies_ns.len();
+    assert_eq!(total_reqs, clients * per_client);
+    assert_eq!(stats.requests, total_reqs as u64);
+    latencies_ns.sort_by(|a, b| a.total_cmp(b));
+    let p50 = percentile(&latencies_ns, 0.50);
+    let p99 = percentile(&latencies_ns, 0.99);
+    let ns_per_req = wall_ns / total_reqs as f64;
+    let req_per_s = 1e9 / ns_per_req;
+    let mean_batch = total_reqs as f64 / stats.batches.max(1) as f64;
+
+    let shape = format!("mlp{IN_DIM}-{HIDDEN}-{CLASSES} c{clients} b{max_batch}");
+    let results = vec![
+        Measurement {
+            name: "serve_p50".to_string(),
+            shape: shape.clone(),
+            ns_per_iter: p50,
+            gflops: FLOPS_PER_REQ as f64 / p50,
+        },
+        Measurement {
+            name: "serve_p99".to_string(),
+            shape: shape.clone(),
+            ns_per_iter: p99,
+            gflops: FLOPS_PER_REQ as f64 / p99,
+        },
+        Measurement {
+            name: "serve_throughput".to_string(),
+            shape: shape.clone(),
+            ns_per_iter: ns_per_req,
+            gflops: FLOPS_PER_REQ as f64 / ns_per_req,
+        },
+    ];
+
+    println!(
+        "serve: {total_reqs} reqs, {} batches (mean size {mean_batch:.1}), \
+         p50 {:.1}µs p99 {:.1}µs, {req_per_s:.0} req/s",
+        stats.batches,
+        p50 / 1e3,
+        p99 / 1e3,
+    );
+    std::fs::write(&out_path, microbench::to_json(&results)).expect("write bench output");
+    println!("wrote {out_path}");
+}

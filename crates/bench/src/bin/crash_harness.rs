@@ -18,13 +18,16 @@
 //!
 //! ```text
 //! crash_harness train  --dir D [--epochs N] [--seed S] [--train N]
-//!                      [--defense vanilla|zk] [--fresh]
+//!                      [--defense vanilla|zk] [--fresh] [--keep N]
 //! crash_harness verify --dir D
 //! ```
 //!
 //! `train` prints `EVENT …` lines (one per `RunEvent`), then
 //! `FINGERPRINT <hex>` of the final classifier weights and
-//! `IO_POINTS <n>`. `verify` prints `STATE_OK epoch=<n>`,
+//! `IO_POINTS <n>`. `--keep N` (default 1) turns on keep-last-N
+//! checkpoint rotation, which adds the `save_rotate` and `save_manifest`
+//! write sites to the sweep. `verify` prints `STATE_OK epoch=<n>`
+//! (suffixed ` via=<stamp>` when only a rotated checkpoint loads),
 //! `STATE_ABSENT` (both exit 0) or `STATE_CORRUPT <why>` (exit 1).
 
 use gandef_data::{generate, DatasetKind, GenSpec};
@@ -43,12 +46,13 @@ struct Opts {
     train: usize,
     defense: String,
     fresh: bool,
+    keep: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: crash_harness <train|verify> --dir DIR \
-         [--epochs N] [--seed S] [--train N] [--defense vanilla|zk] [--fresh]"
+         [--epochs N] [--seed S] [--train N] [--defense vanilla|zk] [--fresh] [--keep N]"
     );
     std::process::exit(2);
 }
@@ -62,6 +66,7 @@ fn parse(mut args: std::env::Args) -> (String, Opts) {
         train: 96,
         defense: "vanilla".to_string(),
         fresh: false,
+        keep: 1,
     };
     while let Some(arg) = args.next() {
         let mut take = |name: &str| {
@@ -77,6 +82,7 @@ fn parse(mut args: std::env::Args) -> (String, Opts) {
             "--train" => opts.train = take("--train").parse().unwrap_or_else(|_| usage()),
             "--defense" => opts.defense = take("--defense"),
             "--fresh" => opts.fresh = true,
+            "--keep" => opts.keep = take("--keep").parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -99,7 +105,7 @@ fn train(opts: &Opts) {
     cfg.epochs = opts.epochs;
     cfg.lr = 0.003;
     cfg.pool_threads = 2;
-    let mut policy = CheckpointPolicy::new(&opts.dir);
+    let mut policy = CheckpointPolicy::new(&opts.dir).keep(opts.keep);
     if opts.fresh {
         policy = policy.fresh();
     }
@@ -122,14 +128,16 @@ fn train(opts: &Opts) {
     println!("IO_POINTS {}", fault::io_points_seen());
 }
 
-/// A checkpoint directory is *consistent* when `run_state.gnrs` either
-/// does not exist (the writer was killed before its first rename) or
-/// parses with a valid checksum, and every `*.gndf` weight export does
-/// too. Stray temp files (`.{name}.tmp.{pid}`) from a killed writer are
-/// expected debris, not corruption.
+/// A checkpoint directory is *consistent* when some run state loads —
+/// the primary `run_state.gnrs`, or (under keep-last-N rotation) a
+/// manifest-listed rotated stamp — with a valid checksum, and every
+/// `*.gndf` weight export does too; or when no state exists at all (the
+/// writer was killed before its first rename). Stray temp files
+/// (`.{name}.tmp.{pid}`) from a killed writer are expected debris, not
+/// corruption.
 fn verify(dir: &Path) {
-    match RunState::load(dir) {
-        Ok(state) => {
+    match RunState::load_any(dir) {
+        Ok((state, fallback)) => {
             for (name, _) in &state.stores {
                 let path = dir.join(format!("{name}.gndf"));
                 match load_params_meta(&path) {
@@ -148,7 +156,10 @@ fn verify(dir: &Path) {
                     }
                 }
             }
-            println!("STATE_OK epoch={}", state.epoch);
+            match fallback {
+                None => println!("STATE_OK epoch={}", state.epoch),
+                Some(stamp) => println!("STATE_OK epoch={} via={stamp}", state.epoch),
+            }
         }
         Err(CheckpointError::Io(err)) if err.kind() == std::io::ErrorKind::NotFound => {
             println!("STATE_ABSENT");

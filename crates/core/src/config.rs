@@ -18,6 +18,13 @@ pub struct CheckpointPolicy {
     /// Whether a readable run state in `dir` resumes training from its
     /// epoch instead of starting over. Default: true.
     pub resume: bool,
+    /// How many run states to keep. `1` (the default) overwrites the
+    /// single `run_state.gnrs` in place; larger values additionally
+    /// rotate stamped `run_state.e{N}.gnrs` copies listed in a
+    /// `checkpoints.manifest`, so a crash *during* the overwrite can
+    /// never destroy the only resume point and resume falls back through
+    /// the stamps when the primary is damaged.
+    pub keep: usize,
 }
 
 impl CheckpointPolicy {
@@ -27,6 +34,7 @@ impl CheckpointPolicy {
             dir: dir.into(),
             every: 1,
             resume: true,
+            keep: 1,
         }
     }
 
@@ -39,6 +47,12 @@ impl CheckpointPolicy {
     /// Returns a copy that ignores existing state (always starts fresh).
     pub fn fresh(mut self) -> Self {
         self.resume = false;
+        self
+    }
+
+    /// Returns a copy keeping the last `keep` rotated run states (≥ 1).
+    pub fn keep(mut self, keep: usize) -> Self {
+        self.keep = keep.max(1);
         self
     }
 }

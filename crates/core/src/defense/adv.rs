@@ -110,7 +110,11 @@ impl Defense for AdvTraining {
                     let z = net.model.forward(&mut sess, x);
                     let total = sess.tape.softmax_cross_entropy(z, &targets);
 
-                    loss_sum += sess.tape.value(total).item();
+                    let batch_loss = sess.tape.value(total).item();
+                    if driver.batch_divergent(epoch, batches_seen, batch_loss, &mut report) {
+                        return batch_loss;
+                    }
+                    loss_sum += batch_loss;
                     batches_seen += 1;
                     let grads = sess.backward(total);
                     opt.step(&mut net.params, &grads);

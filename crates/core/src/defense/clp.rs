@@ -76,7 +76,11 @@ impl Defense for Clp {
                     let pen = sess.tape.scale(pair_pen, cfg.lambda);
                     let total = sess.tape.add(ce, pen);
 
-                    loss_sum += sess.tape.value(total).item();
+                    let batch_loss = sess.tape.value(total).item();
+                    if driver.batch_divergent(epoch, batches_seen, batch_loss, &mut report) {
+                        return batch_loss;
+                    }
+                    loss_sum += batch_loss;
                     batches_seen += 1;
                     let grads = sess.backward(total);
                     opt.step(&mut net.params, &grads);

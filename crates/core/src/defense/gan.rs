@@ -241,7 +241,11 @@ impl Defense for GanDef {
                     let neg = sess.tape.scale(d_capped, -gamma);
                     let total = sess.tape.add(ce, neg);
 
-                    loss_sum += sess.tape.value(total).item();
+                    let batch_loss = sess.tape.value(total).item();
+                    if driver.batch_divergent(epoch, batches_seen, batch_loss, &mut report) {
+                        return batch_loss;
+                    }
+                    loss_sum += batch_loss;
                     batches_seen += 1;
                     let grads = sess.backward_all(total);
                     opt_c.step(&mut net.params, &grads[0]);

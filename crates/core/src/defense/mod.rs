@@ -57,6 +57,18 @@ pub enum RunEvent {
         /// Why the checkpoint was rejected.
         error: String,
     },
+    /// A single batch's loss went non-finite or spiked mid-epoch. The
+    /// trainer aborts the epoch immediately and reports the batch loss as
+    /// the epoch loss, so the guard's rollback path fires the same epoch
+    /// instead of the spike being diluted by the epoch mean.
+    BatchDivergence {
+        /// Epoch the divergent batch occurred in.
+        epoch: usize,
+        /// Zero-based batch index within the epoch.
+        batch: usize,
+        /// The divergent batch loss.
+        loss: f32,
+    },
     /// The divergence guard rolled the run back to the last good state.
     Rollback {
         /// Epoch whose loss tripped the guard.
@@ -65,8 +77,10 @@ pub enum RunEvent {
         loss: f32,
         /// Epoch the run state was rolled back to.
         to_epoch: usize,
-        /// Learning rate after backoff.
-        lr: f32,
+        /// Learning rate after backoff, per optimizer (one entry per
+        /// optimizer store — multi-optimizer defenses like GanDef back
+        /// off each independently-configured rate).
+        lrs: Vec<(String, f32)>,
     },
     /// The guard exhausted its retries; training stopped at the last good
     /// state.

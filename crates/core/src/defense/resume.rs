@@ -116,6 +116,7 @@ pub enum EpochOutcome {
 pub struct RunDriver {
     dir: Option<PathBuf>,
     every: usize,
+    keep: usize,
     total_epochs: usize,
     guard: GuardPolicy,
     retries_left: usize,
@@ -144,17 +145,26 @@ impl RunDriver {
         let policy = cfg.checkpoint.as_ref();
         let mut start_epoch = 0usize;
         if let Some(p) = policy.filter(|p| p.resume) {
-            match RunState::load(&p.dir) {
-                Ok(state) => match Self::check_resumable(&state, cfg) {
-                    Ok(()) => match parts.apply(&state) {
-                        Ok(()) => {
-                            start_epoch = state.epoch as usize;
-                            report.events.push(RunEvent::Resumed { epoch: start_epoch });
-                        }
+            match RunState::load_any(&p.dir) {
+                Ok((state, fallback)) => {
+                    if let Some(stamp) = fallback {
+                        eprintln!(
+                            "warning: primary run state in {} is unusable; resuming from \
+                             rotated checkpoint {stamp}",
+                            p.dir.display()
+                        );
+                    }
+                    match Self::check_resumable(&state, cfg) {
+                        Ok(()) => match parts.apply(&state) {
+                            Ok(()) => {
+                                start_epoch = state.epoch as usize;
+                                report.events.push(RunEvent::Resumed { epoch: start_epoch });
+                            }
+                            Err(e) => Self::resume_failed(report, &p.dir, &e),
+                        },
                         Err(e) => Self::resume_failed(report, &p.dir, &e),
-                    },
-                    Err(e) => Self::resume_failed(report, &p.dir, &e),
-                },
+                    }
+                }
                 Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {}
                 Err(e) => Self::resume_failed(report, &p.dir, &e),
             }
@@ -163,6 +173,7 @@ impl RunDriver {
         let driver = RunDriver {
             dir: policy.map(|p| p.dir.clone()),
             every: policy.map_or(1, |p| p.every),
+            keep: policy.map_or(1, |p| p.keep),
             total_epochs: cfg.epochs,
             retries_left: guard.max_retries,
             guard,
@@ -244,20 +255,26 @@ impl RunDriver {
             }
             restore(&mut parts, &self.last_good);
             let to_epoch = self.last_good.epoch as usize;
-            let new_lr = self
+            let new_lrs: Vec<(String, f32)> = self
                 .last_good
                 .optims
-                .first()
-                .map_or(f32::NAN, |(_, s)| s.lr);
+                .iter()
+                .map(|(n, s)| (n.clone(), s.lr))
+                .collect();
+            let lr_note = new_lrs
+                .iter()
+                .map(|(n, lr)| format!("{n}={lr}"))
+                .collect::<Vec<_>>()
+                .join(", ");
             report.events.push(RunEvent::Rollback {
                 epoch,
                 loss,
                 to_epoch,
-                lr: new_lr,
+                lrs: new_lrs,
             });
             eprintln!(
                 "divergence guard: loss {loss} at epoch {epoch}; rolled back to epoch \
-                 {to_epoch}, lr -> {new_lr}"
+                 {to_epoch}, lr -> {lr_note}"
             );
             return EpochOutcome::Next(to_epoch);
         }
@@ -269,7 +286,7 @@ impl RunDriver {
         self.last_good = parts.capture(completed);
         if let Some(dir) = &self.dir {
             if completed % self.every == 0 || completed == self.total_epochs {
-                if let Err(e) = Self::write_checkpoint(dir, &self.last_good) {
+                if let Err(e) = Self::write_checkpoint(dir, &self.last_good, self.keep) {
                     eprintln!(
                         "warning: checkpoint at epoch {completed} failed: {e}; training continues"
                     );
@@ -286,6 +303,38 @@ impl RunDriver {
         EpochOutcome::Next(completed)
     }
 
+    /// Checks a single batch's loss mid-epoch. Returns `true` when the
+    /// batch is divergent (non-finite, or a spike past the guard's factor
+    /// against the last healthy *epoch* loss) and the guard is armed — the
+    /// trainer must then abort the epoch immediately and report this batch
+    /// loss as the epoch loss, so [`after_epoch`]'s rollback path fires the
+    /// same epoch. Without this check a mid-epoch NaN poisons the epoch
+    /// mean (caught one epoch of wasted work later) and a finite spike can
+    /// be diluted below the threshold entirely.
+    ///
+    /// Always `false` when the guard is disabled (`max_retries == 0`):
+    /// disabled-guard runs record divergence untouched.
+    ///
+    /// [`after_epoch`]: RunDriver::after_epoch
+    pub fn batch_divergent(
+        &self,
+        epoch: usize,
+        batch: usize,
+        loss: f32,
+        report: &mut TrainReport,
+    ) -> bool {
+        if self.guard.max_retries == 0 || !self.is_divergent(loss) {
+            return false;
+        }
+        report
+            .events
+            .push(RunEvent::BatchDivergence { epoch, batch, loss });
+        eprintln!(
+            "divergence guard: batch {batch} of epoch {epoch} hit loss {loss}; aborting epoch"
+        );
+        true
+    }
+
     fn is_divergent(&self, loss: f32) -> bool {
         if !loss.is_finite() {
             return true;
@@ -296,14 +345,19 @@ impl RunDriver {
         }
     }
 
-    /// Writes the run state plus a standalone `.gndf` weights file per
-    /// store (the artifact evaluation tooling consumes).
-    fn write_checkpoint(dir: &std::path::Path, state: &RunState) -> Result<(), CheckpointError> {
+    /// Writes the run state (rotated per the policy's `keep`) plus a
+    /// standalone `.gndf` weights file per store (the artifact evaluation
+    /// tooling consumes).
+    fn write_checkpoint(
+        dir: &std::path::Path,
+        state: &RunState,
+        keep: usize,
+    ) -> Result<(), CheckpointError> {
         std::fs::create_dir_all(dir)?;
         for (name, params) in &state.stores {
             save_params(params, dir.join(format!("{name}.gndf")))?;
         }
-        state.save(dir)
+        state.save_rotated(dir, keep)
     }
 }
 
@@ -369,6 +423,97 @@ mod tests {
         };
         let err = parts.apply(&snap).unwrap_err();
         assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn rollback_reports_every_optimizer_lr() {
+        // GAN-style runs carry two optimizers with independent rates; a
+        // rollback must report the backed-off rate of each, not just the
+        // first (the old `optims.first()` bug).
+        let cfg = crate::TrainConfig::quick(DatasetKind::SynthDigits);
+        let mut rng = Prng::new(1);
+        let mut model = Params::new();
+        model.insert("w", rng.uniform_tensor(&[2], -1.0, 1.0));
+        let mut disc = Params::new();
+        disc.insert("d", rng.uniform_tensor(&[2], -1.0, 1.0));
+        let mut opt_c = Adam::new(0.002);
+        let mut opt_d = Adam::new(0.001);
+        let mut report = TrainReport::new("test");
+        let (mut driver, _) = RunDriver::begin(
+            &cfg,
+            RunParts {
+                stores: vec![("model", &mut model), ("disc", &mut disc)],
+                optims: vec![("opt_c", &mut opt_c), ("opt_d", &mut opt_d)],
+                rng: &mut rng,
+            },
+            &mut report,
+        );
+        let outcome = driver.after_epoch(
+            0,
+            0.1,
+            f32::NAN,
+            RunParts {
+                stores: vec![("model", &mut model), ("disc", &mut disc)],
+                optims: vec![("opt_c", &mut opt_c), ("opt_d", &mut opt_d)],
+                rng: &mut rng,
+            },
+            &mut report,
+        );
+        assert_eq!(outcome, EpochOutcome::Next(0));
+        let Some(RunEvent::Rollback { lrs, .. }) = report.events.first() else {
+            panic!("expected a rollback event: {:?}", report.events);
+        };
+        assert_eq!(
+            lrs,
+            &vec![
+                ("opt_c".to_string(), 0.001f32),
+                ("opt_d".to_string(), 0.0005)
+            ],
+            "each optimizer's backed-off lr must be reported"
+        );
+    }
+
+    #[test]
+    fn batch_divergence_respects_disabled_guard() {
+        let mut cfg = crate::TrainConfig::quick(DatasetKind::SynthDigits);
+        let mut rng = Prng::new(2);
+        let mut params = Params::new();
+        params.insert("w", rng.uniform_tensor(&[2], -1.0, 1.0));
+        let mut opt = Adam::new(0.01);
+        let mut report = TrainReport::new("test");
+        fn parts<'a>(params: &'a mut Params, opt: &'a mut Adam, rng: &'a mut Prng) -> RunParts<'a> {
+            RunParts {
+                stores: vec![("model", params)],
+                optims: vec![("opt", opt)],
+                rng,
+            }
+        }
+        let (armed, _) =
+            RunDriver::begin(&cfg, parts(&mut params, &mut opt, &mut rng), &mut report);
+        assert!(armed.batch_divergent(0, 3, f32::NAN, &mut report));
+        assert!(!armed.batch_divergent(0, 3, 1.0, &mut report));
+        assert!(
+            matches!(
+                report.events.as_slice(),
+                [RunEvent::BatchDivergence {
+                    epoch: 0,
+                    batch: 3,
+                    loss,
+                }] if loss.is_nan()
+            ),
+            "only the non-finite batch is flagged: {:?}",
+            report.events
+        );
+
+        report.events.clear();
+        cfg.guard.max_retries = 0;
+        let (disabled, _) =
+            RunDriver::begin(&cfg, parts(&mut params, &mut opt, &mut rng), &mut report);
+        assert!(
+            !disabled.batch_divergent(0, 3, f32::NAN, &mut report),
+            "a disabled guard must leave divergent batches alone"
+        );
+        assert!(report.events.is_empty());
     }
 
     #[test]

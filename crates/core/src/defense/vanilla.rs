@@ -34,13 +34,20 @@ impl Defense for Vanilla {
         while epoch < cfg.epochs {
             let (secs, loss) = timed_epoch(|| {
                 let mut loss_sum = 0.0;
-                let mut batches_seen = 0;
+                let mut batches_seen: usize = 0;
                 for (xb, yb) in batches(&ds.train_x, &ds.train_y, cfg.batch, rng) {
                     let mut sess = Session::new(&net.params, Mode::Train, rng.fork(0xC1));
                     let x = sess.input(xb);
                     let z = net.model.forward(&mut sess, x);
                     let loss = sess.tape.softmax_cross_entropy(z, &one_hot(&yb, classes));
-                    loss_sum += sess.tape.value(loss).item();
+                    let batch_loss = sess.tape.value(loss).item();
+                    if driver.batch_divergent(epoch, batches_seen, batch_loss, &mut report) {
+                        // Abort the epoch: the divergent batch loss becomes
+                        // the epoch loss, so `after_epoch` rolls back now
+                        // instead of after the mean dilutes it.
+                        return batch_loss;
+                    }
+                    loss_sum += batch_loss;
                     batches_seen += 1;
                     let grads = sess.backward(loss);
                     opt.step(&mut net.params, &grads);

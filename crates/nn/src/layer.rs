@@ -9,8 +9,9 @@
 use crate::init;
 use crate::params::{Mode, Params, Session};
 use gandef_autodiff::VarId;
-use gandef_tensor::conv::ConvSpec;
+use gandef_tensor::conv::{self, ConvSpec};
 use gandef_tensor::rng::Prng;
+use gandef_tensor::{linalg, Tensor};
 
 /// Activation functions used by the paper's architectures (Table II uses
 /// ReLU hidden layers and a sigmoid output; the sigmoid itself is fused
@@ -31,6 +32,14 @@ impl Act {
             Act::Relu => sess.tape.relu(x),
             Act::Sigmoid => sess.tape.sigmoid(x),
             Act::Tanh => sess.tape.tanh(x),
+        }
+    }
+
+    fn eval(self, x: &Tensor) -> Tensor {
+        match self {
+            Act::Relu => x.relu(),
+            Act::Sigmoid => x.sigmoid(),
+            Act::Tanh => x.tanh(),
         }
     }
 
@@ -55,6 +64,13 @@ pub trait Layer: Send + Sync {
 
     /// Records the layer's computation on the session tape.
     fn forward(&self, sess: &mut Session, x: VarId) -> VarId;
+
+    /// Evaluation-mode forward with **no tape**: maps the input tensor
+    /// straight to the output tensor through the same kernels (in the same
+    /// order) as the [`Mode::Eval`] tape path, so the result is bit-identical
+    /// to `forward` without allocating tape nodes or registering backward
+    /// closures. This is the serving hot path (`gandef-serve`).
+    fn infer(&self, params: &Params, x: Tensor) -> Tensor;
 
     /// One-line structural description, e.g. `"Dense(10 -> 32, ReLU)"`.
     /// Used by the Table-II structure test and `Sequential::summary`.
@@ -112,6 +128,15 @@ impl Layer for Dense {
         let y = sess.tape.add(y, b);
         match self.act {
             Some(a) => a.apply(sess, y),
+            None => y,
+        }
+    }
+
+    fn infer(&self, params: &Params, x: Tensor) -> Tensor {
+        let y = linalg::matmul(&x, params.get(&self.w_name()));
+        let y = y.add(params.get(&self.b_name()));
+        match self.act {
+            Some(a) => a.eval(&y),
             None => y,
         }
     }
@@ -191,6 +216,15 @@ impl Layer for Conv2d {
         }
     }
 
+    fn infer(&self, params: &Params, x: Tensor) -> Tensor {
+        let y = conv::conv2d(&x, params.get(&self.w_name()), self.spec);
+        let y = y.add(params.get(&self.b_name()));
+        match self.act {
+            Some(a) => a.eval(&y),
+            None => y,
+        }
+    }
+
     fn describe(&self) -> String {
         let act = self.act.map(Act::name).unwrap_or("linear");
         format!(
@@ -220,6 +254,10 @@ impl Layer for MaxPool {
         sess.tape.maxpool2d(x, self.k)
     }
 
+    fn infer(&self, _params: &Params, x: Tensor) -> Tensor {
+        conv::maxpool2d(&x, self.k).0
+    }
+
     fn describe(&self) -> String {
         format!("MaxPool({0}x{0})", self.k)
     }
@@ -234,6 +272,10 @@ impl Layer for GlobalAvgPool {
 
     fn forward(&self, sess: &mut Session, x: VarId) -> VarId {
         sess.tape.global_avg_pool(x)
+    }
+
+    fn infer(&self, _params: &Params, x: Tensor) -> Tensor {
+        conv::global_avg_pool(&x)
     }
 
     fn describe(&self) -> String {
@@ -251,6 +293,12 @@ impl Layer for Flatten {
 
     fn forward(&self, sess: &mut Session, x: VarId) -> VarId {
         sess.tape.flatten_batch(x)
+    }
+
+    fn infer(&self, _params: &Params, x: Tensor) -> Tensor {
+        let n = x.dim(0);
+        let rest = x.numel() / n;
+        x.reshape(&[n, rest])
     }
 
     fn describe(&self) -> String {
@@ -293,6 +341,11 @@ impl Layer for Dropout {
         }
     }
 
+    fn infer(&self, _params: &Params, x: Tensor) -> Tensor {
+        // Inference is always eval-mode: inverted dropout is the identity.
+        x
+    }
+
     fn describe(&self) -> String {
         format!("Dropout({})", self.p)
     }
@@ -321,6 +374,20 @@ impl Sequential {
         let mut cur = x;
         for layer in &self.layers {
             cur = layer.forward(sess, cur);
+        }
+        cur
+    }
+
+    /// Tape-free eval-mode forward through the whole stack. Bit-identical to
+    /// building a [`Session`] in [`Mode::Eval`] and calling [`forward`], but
+    /// with no per-call tape allocation — intermediates are dropped as soon
+    /// as the next layer has consumed them.
+    ///
+    /// [`forward`]: Sequential::forward
+    pub fn infer(&self, params: &Params, x: Tensor) -> Tensor {
+        let mut cur = x;
+        for layer in &self.layers {
+            cur = layer.infer(params, cur);
         }
         cur
     }
@@ -433,6 +500,52 @@ mod tests {
             vec!["Dense(10 -> 32, ReLU)", "Dense(32 -> 1, Sigmoid)"]
         );
         assert_eq!(model.len(), 2);
+    }
+
+    #[test]
+    fn no_tape_infer_is_bitwise_identical_to_tape_eval() {
+        // Same kernels in the same order ⇒ exact equality, even in f32.
+        let mlp = Sequential::new(vec![
+            Box::new(Dropout::new(0.3)) as Box<dyn Layer>,
+            Box::new(Dense::new("h", 6, 16, Some(Act::Relu))),
+            Box::new(Dense::new("o", 16, 3, Some(Act::Tanh))),
+        ]);
+        let convnet = Sequential::new(vec![
+            Box::new(Conv2d::new(
+                "c1",
+                2,
+                5,
+                3,
+                ConvSpec { stride: 1, pad: 1 },
+                Some(Act::Relu),
+            )) as Box<dyn Layer>,
+            Box::new(MaxPool::new(2)),
+            Box::new(Conv2d::new(
+                "c2",
+                5,
+                4,
+                1,
+                ConvSpec::default(),
+                Some(Act::Sigmoid),
+            )),
+            Box::new(GlobalAvgPool),
+            Box::new(Flatten),
+            Box::new(Dense::new("fc", 4, 3, None)),
+        ]);
+        for (model, dims) in [(&mlp, vec![5usize, 6]), (&convnet, vec![3, 2, 8, 8])] {
+            let mut params = Params::new();
+            let mut rng = Prng::new(11);
+            model.init(&mut params, &mut rng);
+            let input = Prng::new(23).uniform_tensor(&dims, -1.0, 1.0);
+
+            let mut sess = Session::eval(&params);
+            let x = sess.input(input.clone());
+            let out = model.forward(&mut sess, x);
+            let taped = sess.tape.value(out).clone();
+
+            let tapeless = model.infer(&params, input);
+            assert_eq!(taped, tapeless);
+        }
     }
 
     #[test]

@@ -6,8 +6,8 @@ use crate::params::{Mode, Params, Session};
 use gandef_tensor::rng::Prng;
 use gandef_tensor::Tensor;
 
-/// Maximum rows pushed through a single inference tape; larger batches are
-/// chunked to bound the tape's memory footprint.
+/// Maximum rows pushed through a single inference forward; larger batches
+/// are chunked to bound peak intermediate-activation memory.
 const INFER_CHUNK: usize = 64;
 
 /// A white-box image classifier: something that exposes its logits *and*
@@ -16,8 +16,8 @@ const INFER_CHUNK: usize = 64;
 /// the adversary has "full knowledge about the target NN classifier".
 ///
 /// `Sync` is required so one model can serve concurrent attack chunks on
-/// the worker pool (inference builds its own tape per call, so shared
-/// access is read-only).
+/// the worker pool (inference is a tape-free read-only pass; gradient
+/// queries build their own tape per call).
 pub trait Classifier: Sync {
     /// Number of output classes.
     fn num_classes(&self) -> usize;
@@ -85,9 +85,10 @@ impl Net {
         crate::accuracy(&self.predict(x), labels)
     }
 
-    /// Runs one evaluation-mode forward pass on a fresh session, returning
-    /// the logits tensor. Input batches larger than an internal chunk size
-    /// are split to bound tape memory.
+    /// Runs one evaluation-mode forward pass over the tape-free
+    /// [`Sequential::infer`] path, returning the logits tensor. Input
+    /// batches larger than an internal chunk size are split to bound peak
+    /// activation memory.
     fn infer(&self, x: &Tensor) -> Tensor {
         let n = x.dim(0);
         if n <= INFER_CHUNK {
@@ -105,10 +106,7 @@ impl Net {
     }
 
     fn infer_chunk(&self, x: &Tensor) -> Tensor {
-        let mut sess = Session::eval(&self.params);
-        let xv = sess.input(x.clone());
-        let z = self.model.forward(&mut sess, xv);
-        sess.tape.value(z).clone()
+        self.model.infer(&self.params, x.clone())
     }
 }
 
@@ -199,6 +197,16 @@ mod tests {
             let single = net.logits(&x.slice_rows(probe, probe + 1));
             assert!(full.slice_rows(probe, probe + 1).allclose(&single, 1e-5));
         }
+    }
+
+    #[test]
+    fn logits_match_tape_forward_bitwise() {
+        let net = tiny_net(13);
+        let x = Prng::new(14).uniform_tensor(&[5, 4], -1.0, 1.0);
+        let mut sess = Session::eval(&net.params);
+        let xv = sess.input(x.clone());
+        let z = net.model.forward(&mut sess, xv);
+        assert_eq!(net.logits(&x), *sess.tape.value(z));
     }
 
     #[test]

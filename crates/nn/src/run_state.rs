@@ -23,7 +23,9 @@
 //!
 //! Strings and tensors use the shared wire forms of [`crate::serialize`]'s
 //! GNDF container; writes go through the same atomic
-//! temp-fsync-rename path, under the fault-injection site `save_state`.
+//! temp-fsync-rename path, under the fault-injection site `save_state`
+//! (keep-last-N rotation adds the `save_rotate` and `save_manifest`
+//! sites — see [`RunState::save_rotated`]).
 
 use crate::optim::AdamState;
 use crate::params::Params;
@@ -58,9 +60,20 @@ impl RunState {
     /// File name of the run state inside a checkpoint directory.
     pub const FILE_NAME: &'static str = "run_state.gnrs";
 
+    /// File name of the rotation manifest inside a checkpoint directory.
+    /// Lists the kept stamped run states, newest first.
+    pub const MANIFEST_NAME: &'static str = "checkpoints.manifest";
+
+    const MANIFEST_MAGIC: &'static str = "GNRS-MANIFEST v1";
+
     /// The run-state path inside checkpoint directory `dir`.
     pub fn path_in(dir: &Path) -> PathBuf {
         dir.join(Self::FILE_NAME)
+    }
+
+    /// File name of the stamped (rotated) run state for `epoch`.
+    pub fn stamped_name(epoch: u64) -> String {
+        format!("run_state.e{epoch}.gnrs")
     }
 
     /// Serializes to checksummed GNRS bytes.
@@ -274,6 +287,116 @@ impl RunState {
         let bytes = std::fs::read(Self::path_in(dir))?;
         RunState::from_bytes(&bytes)
     }
+
+    /// Atomically writes the run state with keep-last-`keep` rotation.
+    ///
+    /// With `keep <= 1` this is exactly [`RunState::save`]. Otherwise the
+    /// write happens in a crash-ordered sequence so a kill at any point
+    /// leaves at least one complete, loadable state on disk:
+    ///
+    /// 1. a stamped copy `run_state.e{epoch}.gnrs` (fault-injection site
+    ///    `save_rotate`),
+    /// 2. the manifest listing the kept stamps newest-first (site
+    ///    `save_manifest`),
+    /// 3. the primary `run_state.gnrs` (site `save_state`),
+    /// 4. best-effort pruning of stamps that fell off the end.
+    ///
+    /// A crash before step 3 leaves the old primary intact; a crash after
+    /// it leaves the new one — either way [`RunState::load_any`] finds a
+    /// usable state. Stray stamped files not named by the manifest are
+    /// harmless debris.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on filesystem failures in steps 1–3.
+    pub fn save_rotated(&self, dir: &Path, keep: usize) -> Result<(), CheckpointError> {
+        if keep <= 1 {
+            return self.save(dir);
+        }
+        std::fs::create_dir_all(dir)?;
+        let bytes = self.to_bytes()?;
+        let stamp = Self::stamped_name(self.epoch);
+        atomic_write(&dir.join(&stamp), "save_rotate", &bytes)?;
+
+        let mut kept = vec![stamp.clone()];
+        for prior in Self::read_manifest(dir).unwrap_or_default() {
+            if prior != stamp && kept.len() < keep {
+                kept.push(prior);
+            }
+        }
+        let mut manifest = String::from(Self::MANIFEST_MAGIC);
+        for name in &kept {
+            manifest.push('\n');
+            manifest.push_str(name);
+        }
+        manifest.push('\n');
+        atomic_write(
+            &dir.join(Self::MANIFEST_NAME),
+            "save_manifest",
+            manifest.as_bytes(),
+        )?;
+
+        atomic_write(&Self::path_in(dir), "save_state", &bytes)?;
+
+        // Prune dropped stamps; best-effort (a leftover stamp is inert).
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if name.starts_with("run_state.e")
+                    && name.ends_with(".gnrs")
+                    && !kept.iter().any(|k| k == name)
+                {
+                    std::fs::remove_file(entry.path()).ok();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The manifest's stamped-file list (newest first), if a well-formed
+    /// manifest exists. Entries naming other directories are dropped.
+    pub fn read_manifest(dir: &Path) -> Option<Vec<String>> {
+        let text = std::fs::read_to_string(dir.join(Self::MANIFEST_NAME)).ok()?;
+        let mut lines = text.lines();
+        if lines.next() != Some(Self::MANIFEST_MAGIC) {
+            return None;
+        }
+        Some(
+            lines
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.contains('/') && !l.contains('\\'))
+                .map(str::to_string)
+                .collect(),
+        )
+    }
+
+    /// Loads the primary run state, falling back through the rotation
+    /// manifest's stamped states (newest first) when the primary is
+    /// missing or damaged. Returns the state and, for a fallback, the
+    /// stamped file it came from.
+    ///
+    /// Without a manifest this is exactly [`RunState::load`] — a corrupt
+    /// primary in an unrotated directory still fails loudly.
+    ///
+    /// # Errors
+    ///
+    /// The primary's error when no manifest entry yields a valid state
+    /// (not-found only when the primary was not found).
+    pub fn load_any(dir: &Path) -> Result<(RunState, Option<String>), CheckpointError> {
+        let primary_err = match Self::load(dir) {
+            Ok(state) => return Ok((state, None)),
+            Err(e) => e,
+        };
+        for stamp in Self::read_manifest(dir).unwrap_or_default() {
+            if let Ok(bytes) = std::fs::read(dir.join(&stamp)) {
+                if let Ok(state) = RunState::from_bytes(&bytes) {
+                    return Ok((state, Some(stamp)));
+                }
+            }
+        }
+        Err(primary_err)
+    }
 }
 
 /// Order-sensitive 64-bit FNV-1a fingerprint of a parameter store
@@ -366,6 +489,68 @@ mod tests {
         state.save(&dir).unwrap();
         let back = RunState::load(&dir).unwrap();
         assert_states_equal(&state, &back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_keeps_last_n_with_manifest_and_fallback() {
+        let dir = std::env::temp_dir().join(format!("gnrs-rot-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut state = sample_state();
+        for epoch in 1..=5u64 {
+            state.epoch = epoch;
+            state.save_rotated(&dir, 3).unwrap();
+        }
+        let (back, from) = RunState::load_any(&dir).unwrap();
+        assert_eq!(back.epoch, 5);
+        assert_eq!(from, None, "healthy primary wins");
+        assert_eq!(
+            RunState::read_manifest(&dir).unwrap(),
+            vec![
+                "run_state.e5.gnrs",
+                "run_state.e4.gnrs",
+                "run_state.e3.gnrs"
+            ]
+        );
+        assert!(!dir.join("run_state.e1.gnrs").exists(), "pruned");
+        assert!(!dir.join("run_state.e2.gnrs").exists(), "pruned");
+
+        // Corrupt the primary: fallback serves the newest stamp.
+        let primary = RunState::path_in(&dir);
+        let mut bytes = std::fs::read(&primary).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&primary, &bytes).unwrap();
+        let (back, from) = RunState::load_any(&dir).unwrap();
+        assert_eq!(back.epoch, 5);
+        assert_eq!(from.as_deref(), Some("run_state.e5.gnrs"));
+
+        // Lose the primary and the newest stamp: falls through to e4.
+        std::fs::remove_file(&primary).unwrap();
+        std::fs::remove_file(dir.join("run_state.e5.gnrs")).unwrap();
+        let (back, from) = RunState::load_any(&dir).unwrap();
+        assert_eq!(back.epoch, 4);
+        assert_eq!(from.as_deref(), Some("run_state.e4.gnrs"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_any_without_manifest_fails_like_load() {
+        let dir = std::env::temp_dir().join(format!("gnrs-noman-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let state = sample_state();
+        state.save_rotated(&dir, 1).unwrap();
+        assert!(
+            !dir.join(RunState::MANIFEST_NAME).exists(),
+            "keep=1 writes no manifest"
+        );
+        let primary = RunState::path_in(&dir);
+        let mut bytes = std::fs::read(&primary).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&primary, &bytes).unwrap();
+        let err = RunState::load_any(&dir).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

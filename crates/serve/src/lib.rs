@@ -1,0 +1,617 @@
+//! Batched inference serving for trained ZK-GanDef classifiers.
+//!
+//! The paper's defense is only useful if the hardened classifier can be
+//! *deployed*; this crate provides the serving layer:
+//!
+//! * **Dynamic batching.** Incoming single-example requests accumulate in
+//!   a queue until either [`ServeConfig::max_batch`] requests are waiting
+//!   or the oldest request has aged past [`ServeConfig::max_wait`]; the
+//!   whole batch then runs as **one** tape-free forward pass
+//!   ([`Sequential::infer`]) over the shared `gandef_tensor::pool`
+//!   workers. Batching amortizes the matmul/conv fixed costs, so
+//!   sustained throughput is far higher than request-at-a-time serving.
+//! * **Checkpoint hot-reload.** An optional watcher thread polls a GNDF
+//!   weight file (`(len, mtime)` key) and, when it changes, loads it with
+//!   the CRC-verifying [`load_params_meta`]. Only a checkpoint that (a)
+//!   passes the checksum and (b) is name/shape-compatible with the
+//!   current weights is swapped in — atomically, as an `Arc<Params>`
+//!   snapshot taken once per batch, so a batch never sees a torn or mixed
+//!   set of weights. A bad file (torn write, wrong model) is counted and
+//!   the server keeps answering from the previous snapshot.
+//! * **Deterministic option.** With [`ServeConfig::accum`] set to
+//!   [`Accum::F64`], batched outputs are bit-identical to unbatched ones
+//!   (row reductions become order-independent at f64), which is what the
+//!   serving-semantics tests pin down. Note the accumulation override is
+//!   applied *on the batcher thread* — thread-local `with_accum` in a
+//!   client does not reach the forward pass.
+//!
+//! # Example
+//!
+//! ```
+//! use gandef_nn::layer::{Act, Dense, Sequential};
+//! use gandef_nn::Params;
+//! use gandef_serve::{ServeConfig, Server};
+//! use gandef_tensor::rng::Prng;
+//! use gandef_tensor::Tensor;
+//!
+//! let mut rng = Prng::new(7);
+//! let model = Sequential::new(vec![
+//!     Box::new(Dense::new("fc", 4, 3, Some(Act::Tanh))),
+//! ]);
+//! let mut params = Params::default();
+//! model.init(&mut params, &mut rng);
+//!
+//! let server = Server::new(model, params, vec![4], ServeConfig::default());
+//! let y = server.classify(Tensor::zeros(&[4])).unwrap();
+//! assert_eq!(y.shape().dims(), &[1, 3]);
+//! let stats = server.shutdown();
+//! assert_eq!(stats.requests, 1);
+//! ```
+
+#![deny(missing_docs)]
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gandef_nn::layer::Sequential;
+use gandef_nn::serialize::load_params_meta;
+use gandef_nn::Params;
+use gandef_tensor::accum::{with_accum, Accum};
+use gandef_tensor::Tensor;
+
+/// Locks a mutex, recovering the guard if a client thread panicked while
+/// holding it (the protected state is plain data — a request queue or a
+/// swapped-whole `Arc` — so it cannot be left logically torn).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Default and env-overridable batch-size knob (`GANDEF_SERVE_BATCH`).
+fn default_max_batch() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("GANDEF_SERVE_BATCH")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(32)
+    })
+}
+
+/// Default and env-overridable wait-deadline knob (`GANDEF_SERVE_WAIT_US`,
+/// microseconds).
+fn default_max_wait() -> Duration {
+    static CACHE: OnceLock<u64> = OnceLock::new();
+    let us = *CACHE.get_or_init(|| {
+        std::env::var("GANDEF_SERVE_WAIT_US")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or(2_000)
+    });
+    Duration::from_micros(us)
+}
+
+/// Tuning for the dynamic batcher and the hot-reload watcher.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Maximum requests fused into one forward pass. A full batch is
+    /// dispatched immediately. Default: `GANDEF_SERVE_BATCH` or 32.
+    pub max_batch: usize,
+    /// Deadline for a partial batch: once the *oldest* queued request has
+    /// waited this long, whatever is queued is dispatched. Default:
+    /// `GANDEF_SERVE_WAIT_US` microseconds, or 2 ms.
+    pub max_wait: Duration,
+    /// Backpressure bound: [`Server::submit`] returns
+    /// [`ServeError::QueueFull`] once this many requests are waiting.
+    pub queue_cap: usize,
+    /// Accumulation mode forced on the batcher thread for every forward
+    /// pass. `Some(Accum::F64)` makes batched output bit-identical to
+    /// unbatched; `None` (default) inherits the process-global mode.
+    pub accum: Option<Accum>,
+    /// How often the hot-reload watcher polls the checkpoint file.
+    pub reload_poll: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: default_max_batch(),
+            max_wait: default_max_wait(),
+            queue_cap: 4096,
+            accum: None,
+            reload_poll: Duration::from_millis(50),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the maximum batch size (clamped to at least 1).
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n.max(1);
+        self
+    }
+
+    /// Sets the partial-batch wait deadline.
+    pub fn max_wait(mut self, d: Duration) -> Self {
+        self.max_wait = d;
+        self
+    }
+
+    /// Sets the queue backpressure bound (clamped to at least 1).
+    pub fn queue_cap(mut self, n: usize) -> Self {
+        self.queue_cap = n.max(1);
+        self
+    }
+
+    /// Forces an accumulation mode on the batcher thread.
+    pub fn accum(mut self, mode: Accum) -> Self {
+        self.accum = Some(mode);
+        self
+    }
+
+    /// Sets the hot-reload poll interval.
+    pub fn reload_poll(mut self, d: Duration) -> Self {
+        self.reload_poll = d;
+        self
+    }
+}
+
+/// Why a request could not be served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The submitted tensor's shape does not match the shape the server
+    /// was built for.
+    BadShape {
+        /// Per-example dims the server expects.
+        expected: Vec<usize>,
+        /// Dims actually submitted.
+        got: Vec<usize>,
+    },
+    /// The queue is at [`ServeConfig::queue_cap`]; retry later.
+    QueueFull,
+    /// The server is shutting down and no longer accepts requests.
+    ShutDown,
+    /// The batcher dropped the response channel (server torn down while
+    /// the request was in flight).
+    Disconnected,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BadShape { expected, got } => {
+                write!(f, "bad request shape: expected {expected:?}, got {got:?}")
+            }
+            ServeError::QueueFull => write!(f, "request queue is full"),
+            ServeError::ShutDown => write!(f, "server is shut down"),
+            ServeError::Disconnected => write!(f, "server dropped the request"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Counters describing what the server has done so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests accepted by [`Server::submit`].
+    pub requests: u64,
+    /// Forward passes executed (each serves 1..=`max_batch` requests).
+    pub batches: u64,
+    /// Checkpoint reloads that passed verification and were swapped in.
+    pub reloads: u64,
+    /// Checkpoint files that changed but were rejected (failed CRC /
+    /// unreadable / incompatible names or shapes).
+    pub rejected_reloads: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    reloads: AtomicU64,
+    rejected_reloads: AtomicU64,
+}
+
+struct Request {
+    /// Always `[1, example_dims...]`.
+    x: Tensor,
+    tx: mpsc::Sender<Tensor>,
+    enqueued: Instant,
+}
+
+struct QueueInner {
+    queue: VecDeque<Request>,
+    shutdown: bool,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    model: Sequential,
+    example_dims: Vec<usize>,
+    queue: Mutex<QueueInner>,
+    cv: Condvar,
+    /// Weights snapshot; the batcher clones the `Arc` once per batch, so
+    /// a hot-reload swap can never mix old and new weights inside one
+    /// forward pass.
+    snapshot: Mutex<Arc<Params>>,
+    stopping: AtomicBool,
+    stats: StatsInner,
+}
+
+/// A response handle returned by [`Server::submit`].
+#[derive(Debug)]
+pub struct Pending {
+    rx: mpsc::Receiver<Tensor>,
+}
+
+impl Pending {
+    /// Blocks until the batch containing this request has run and returns
+    /// the `[1, out...]` output row.
+    pub fn wait(self) -> Result<Tensor, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+}
+
+/// A running inference server: a dynamic batcher thread plus an optional
+/// checkpoint-watcher thread over an immutable model architecture.
+pub struct Server {
+    shared: Arc<Shared>,
+    batcher: Option<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts a server for `model` with weights `params`, accepting
+    /// single examples of shape `example_dims` (e.g. `[1, 28, 28]`).
+    pub fn new(
+        model: Sequential,
+        params: Params,
+        example_dims: Vec<usize>,
+        cfg: ServeConfig,
+    ) -> Server {
+        Self::start(model, params, example_dims, cfg, None)
+    }
+
+    /// Like [`Server::new`], but also watches `watch` (a GNDF file
+    /// written by `gandef_nn::serialize::save_params`) and atomically
+    /// swaps in new weights whenever a verified, compatible checkpoint
+    /// appears there.
+    pub fn with_hot_reload(
+        model: Sequential,
+        params: Params,
+        example_dims: Vec<usize>,
+        cfg: ServeConfig,
+        watch: PathBuf,
+    ) -> Server {
+        Self::start(model, params, example_dims, cfg, Some(watch))
+    }
+
+    fn start(
+        model: Sequential,
+        params: Params,
+        example_dims: Vec<usize>,
+        cfg: ServeConfig,
+        watch: Option<PathBuf>,
+    ) -> Server {
+        let shared = Arc::new(Shared {
+            cfg,
+            model,
+            example_dims,
+            queue: Mutex::new(QueueInner {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            snapshot: Mutex::new(Arc::new(params)),
+            stopping: AtomicBool::new(false),
+            stats: StatsInner::default(),
+        });
+        let b = Arc::clone(&shared);
+        // lint:allow(spawn) — long-lived service thread, not a compute job:
+        // it blocks on a condvar between batches, which would wedge a pool
+        // worker; the forward pass it dispatches runs on the pool.
+        let batcher = std::thread::spawn(move || batcher_loop(&b));
+        let watcher = watch.map(|path| {
+            let w = Arc::clone(&shared);
+            // lint:allow(spawn) — long-lived service thread that sleeps
+            // between filesystem polls; parking it on a pool worker would
+            // steal a compute slot for the life of the server.
+            std::thread::spawn(move || watcher_loop(&w, &path))
+        });
+        Server {
+            shared,
+            batcher: Some(batcher),
+            watcher,
+        }
+    }
+
+    /// Enqueues one example (shape exactly `example_dims`) and returns a
+    /// [`Pending`] handle without blocking on the forward pass.
+    pub fn submit(&self, x: Tensor) -> Result<Pending, ServeError> {
+        if x.shape().dims() != self.shared.example_dims.as_slice() {
+            return Err(ServeError::BadShape {
+                expected: self.shared.example_dims.clone(),
+                got: x.shape().dims().to_vec(),
+            });
+        }
+        let mut batched_dims = Vec::with_capacity(1 + self.shared.example_dims.len());
+        batched_dims.push(1);
+        batched_dims.extend_from_slice(&self.shared.example_dims);
+        let x = x.reshape(&batched_dims);
+
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut inner = lock(&self.shared.queue);
+            if inner.shutdown {
+                return Err(ServeError::ShutDown);
+            }
+            if inner.queue.len() >= self.shared.cfg.queue_cap {
+                return Err(ServeError::QueueFull);
+            }
+            inner.queue.push_back(Request {
+                x,
+                tx,
+                enqueued: Instant::now(),
+            });
+        }
+        self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.shared.cv.notify_all();
+        Ok(Pending { rx })
+    }
+
+    /// Convenience wrapper: [`Server::submit`] then [`Pending::wait`].
+    pub fn classify(&self, x: Tensor) -> Result<Tensor, ServeError> {
+        self.submit(x)?.wait()
+    }
+
+    /// Snapshot of the server's counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.shared.stats.requests.load(Ordering::Relaxed),
+            batches: self.shared.stats.batches.load(Ordering::Relaxed),
+            reloads: self.shared.stats.reloads.load(Ordering::Relaxed),
+            rejected_reloads: self.shared.stats.rejected_reloads.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting new requests, drains everything already queued
+    /// (every outstanding [`Pending`] still resolves), joins both service
+    /// threads and returns the final counters.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.stop();
+        self.stats()
+    }
+
+    fn stop(&mut self) {
+        self.shared.stopping.store(true, Ordering::Relaxed);
+        lock(&self.shared.queue).shutdown = true;
+        self.shared.cv.notify_all();
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.watcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Accumulates requests into batches and runs one forward pass per batch.
+fn batcher_loop(shared: &Shared) {
+    loop {
+        let batch: Vec<Request> = {
+            let mut inner = lock(&shared.queue);
+            loop {
+                if inner.queue.len() >= shared.cfg.max_batch || inner.shutdown {
+                    break;
+                }
+                match inner.queue.front() {
+                    None => {
+                        inner = shared
+                            .cv
+                            .wait(inner)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    Some(front) => {
+                        let age = front.enqueued.elapsed();
+                        if age >= shared.cfg.max_wait {
+                            break;
+                        }
+                        inner = shared
+                            .cv
+                            .wait_timeout(inner, shared.cfg.max_wait - age)
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .0;
+                    }
+                }
+            }
+            if inner.queue.is_empty() {
+                // Only reachable on shutdown with nothing left to drain.
+                return;
+            }
+            let n = inner.queue.len().min(shared.cfg.max_batch);
+            inner.queue.drain(..n).collect()
+        };
+
+        // One immutable snapshot per batch: a concurrent hot-reload swap
+        // affects the *next* batch, never a forward pass in flight.
+        let params: Arc<Params> = lock(&shared.snapshot).clone();
+        let rows: Vec<&Tensor> = batch.iter().map(|r| &r.x).collect();
+        let joined = Tensor::concat_rows(&rows);
+        let out = match shared.cfg.accum {
+            Some(mode) => with_accum(mode, || shared.model.infer(&params, joined)),
+            None => shared.model.infer(&params, joined),
+        };
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        for (i, req) in batch.iter().enumerate() {
+            // A client that gave up and dropped its Pending is fine.
+            let _ = req.tx.send(out.slice_rows(i, i + 1));
+        }
+    }
+}
+
+/// True when `loaded` can replace `current` without changing the model's
+/// architecture: same parameter names, same shapes.
+fn compatible(current: &Params, loaded: &Params) -> bool {
+    current.len() == loaded.len()
+        && current.iter().all(|(name, t)| {
+            loaded.contains(name) && loaded.get(name).shape().dims() == t.shape().dims()
+        })
+}
+
+/// Cheap change-detection key for the watched checkpoint file.
+fn file_key(path: &PathBuf) -> Option<(u64, Option<std::time::SystemTime>)> {
+    std::fs::metadata(path)
+        .ok()
+        .map(|m| (m.len(), m.modified().ok()))
+}
+
+/// Polls the watched checkpoint and swaps verified, compatible weights in.
+fn watcher_loop(shared: &Shared, path: &PathBuf) {
+    let mut last_key = file_key(path);
+    while !shared.stopping.load(Ordering::Relaxed) {
+        // Sleep in short slices so shutdown is prompt even with a long
+        // poll interval.
+        let mut slept = Duration::ZERO;
+        while slept < shared.cfg.reload_poll {
+            if shared.stopping.load(Ordering::Relaxed) {
+                return;
+            }
+            let step = (shared.cfg.reload_poll - slept).min(Duration::from_millis(20));
+            std::thread::sleep(step);
+            slept += step;
+        }
+
+        let key = file_key(path);
+        if key == last_key || key.is_none() {
+            last_key = key;
+            continue;
+        }
+        last_key = key;
+        match load_params_meta(path) {
+            Ok((loaded, meta)) if meta.verified => {
+                let current = lock(&shared.snapshot).clone();
+                if compatible(&current, &loaded) {
+                    *lock(&shared.snapshot) = Arc::new(loaded);
+                    shared.stats.reloads.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shared
+                        .stats
+                        .rejected_reloads
+                        .fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "gandef-serve: rejected reload of {}: incompatible parameter set",
+                        path.display()
+                    );
+                }
+            }
+            Ok(_) => {
+                shared
+                    .stats
+                    .rejected_reloads
+                    .fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "gandef-serve: rejected reload of {}: checkpoint is unverified",
+                    path.display()
+                );
+            }
+            Err(e) => {
+                shared
+                    .stats
+                    .rejected_reloads
+                    .fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "gandef-serve: rejected reload of {}: {e:?}; keeping previous weights",
+                    path.display()
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gandef_nn::layer::{Act, Dense};
+    use gandef_tensor::rng::Prng;
+
+    fn toy(seed: u64) -> (Sequential, Params) {
+        let model = Sequential::new(vec![
+            Box::new(Dense::new("fc1", 6, 10, Some(Act::Tanh))) as Box<dyn gandef_nn::layer::Layer>,
+            Box::new(Dense::new("fc2", 10, 4, None)),
+        ]);
+        let mut rng = Prng::new(seed);
+        let mut params = Params::default();
+        model.init(&mut params, &mut rng);
+        (model, params)
+    }
+
+    #[test]
+    fn single_request_round_trips() {
+        let (model, params) = toy(1);
+        let server = Server::new(model, params, vec![6], ServeConfig::default());
+        let y = server.classify(Tensor::zeros(&[6])).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 4]);
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, 1);
+        assert!(stats.batches >= 1);
+    }
+
+    #[test]
+    fn bad_shape_is_rejected_up_front() {
+        let (model, params) = toy(2);
+        let server = Server::new(model, params, vec![6], ServeConfig::default());
+        let err = server.submit(Tensor::zeros(&[5])).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::BadShape {
+                expected: vec![6],
+                got: vec![5]
+            }
+        );
+        assert_eq!(server.shutdown().requests, 0);
+    }
+
+    #[test]
+    fn queue_cap_applies_backpressure() {
+        let (model, params) = toy(3);
+        // A batcher that can never fire on its own within the test window
+        // keeps everything queued.
+        let cfg = ServeConfig::default()
+            .max_batch(1000)
+            .max_wait(Duration::from_secs(60))
+            .queue_cap(2);
+        let server = Server::new(model, params, vec![6], cfg);
+        let p1 = server.submit(Tensor::zeros(&[6])).unwrap();
+        let p2 = server.submit(Tensor::zeros(&[6])).unwrap();
+        assert_eq!(
+            server.submit(Tensor::zeros(&[6])).unwrap_err(),
+            ServeError::QueueFull
+        );
+        // Shutdown drains the two accepted requests.
+        drop(server);
+        assert!(p1.wait().is_ok());
+        assert!(p2.wait().is_ok());
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let (model, params) = toy(4);
+        let mut server = Server::new(model, params, vec![6], ServeConfig::default());
+        server.stop();
+        assert_eq!(
+            server.submit(Tensor::zeros(&[6])).unwrap_err(),
+            ServeError::ShutDown
+        );
+    }
+}

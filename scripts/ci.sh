@@ -10,7 +10,9 @@
 # the regeneration note at that stage), a smoke run of the kernel
 # micro-benchmarks gated against the
 # checked-in BENCH_tensor.json (bench_diff; writes BENCH_smoke.json to a
-# temp dir so the checked-in file is never clobbered), the numerics
+# temp dir so the checked-in file is never clobbered), the serving
+# traffic-generator smoke gated the same way against BENCH_serve.json
+# (p50/p99 latency and sustained request throughput), the numerics
 # audit (the f64-accumulation kernel oracle must be byte-identical
 # across thread counts and FMA settings, and the f64 training trajectory
 # must be reproducible), the crash-consistency sweep (a training child is
@@ -94,6 +96,15 @@ trap 'rm -rf "$out"' EXIT
 ./target/release/bench_diff --baseline BENCH_tensor.json --fresh "$out/BENCH_smoke.json" \
     --require matmul,conv2d,conv2d_im2col,conv2d_backward,elementwise_add,sum
 
+echo "==> bench_serve --smoke + bench_diff"
+# Serving gate: the synthetic traffic generator drives the dynamic
+# batcher with a closed-loop client fleet and the p50/p99/throughput
+# trajectory is tracked in BENCH_serve.json. Latency percentiles are
+# noisier than kernel GFLOP/s, so the threshold is slightly looser.
+./target/release/bench_serve --smoke --out "$out/BENCH_serve_smoke.json"
+./target/release/bench_diff --baseline BENCH_serve.json --fresh "$out/BENCH_serve_smoke.json" \
+    --min-ratio 0.25 --require serve_p50,serve_p99,serve_throughput
+
 echo "==> numerics audit: f64 oracle invariance"
 # Under GANDEF_ACCUM=f64 the kernel fingerprints must not depend on the
 # worker-pool size or FMA availability.
@@ -128,15 +139,19 @@ sweep="$out/crash_sweep"
 run_quiet() {
     bash -c '"$0" "$@"; exit $?' "$@" >/dev/null 2>&1
 }
-census="$($harness train --dir "$sweep/census" --epochs 2 --train 64 | grep IO_POINTS)"
+# The sweep runs with keep-last-3 rotation on so the two extra write
+# sites it introduces (the rotated stamp and the manifest) are in scope;
+# keep=1 behavior is covered by the io-fail stage and the resume oracle
+# below, which run without --keep.
+census="$($harness train --dir "$sweep/census" --epochs 2 --train 64 --keep 3 | grep IO_POINTS)"
 points="${census#IO_POINTS }"
-echo "checkpoint writer passes $points I/O points in a 2-epoch run"
-for site in save_params save_state; do
+echo "checkpoint writer passes $points I/O points in a 2-epoch rotated run"
+for site in save_params save_rotate save_manifest save_state; do
     crashes=0
     for i in $(seq 1 "$points"); do
         dir="$sweep/kill-$site-$i"
         if ! GANDEF_FAULT="kill:$site:$i" \
-            run_quiet "$harness" train --dir "$dir" --epochs 2 --train 64; then
+            run_quiet "$harness" train --dir "$dir" --epochs 2 --train 64 --keep 3; then
             crashes=$((crashes + 1))
         fi
         "$harness" verify --dir "$dir" >/dev/null || {

@@ -9,6 +9,7 @@
 //! * [`data`] — synthetic datasets + preprocessing ([`gandef_data`])
 //! * [`attack`] — FGSM / BIM / PGD / DeepFool / CW ([`gandef_attack`])
 //! * [`defense`] — ZK-GanDef and all baselines ([`zk_gandef`])
+//! * [`serve`] — batched inference serving with hot-reload ([`gandef_serve`])
 //!
 //! See `README.md` for a guided tour and `examples/` for runnable programs.
 
@@ -16,5 +17,6 @@ pub use gandef_attack as attack;
 pub use gandef_autodiff as autodiff;
 pub use gandef_data as data;
 pub use gandef_nn as nn;
+pub use gandef_serve as serve;
 pub use gandef_tensor as tensor;
 pub use zk_gandef as defense;

@@ -210,7 +210,11 @@ fn divergence_guard_rolls_back_halves_lr_and_eventually_stops() {
         .events
         .iter()
         .filter_map(|e| match e {
-            RunEvent::Rollback { lr, .. } => Some(*lr),
+            RunEvent::Rollback { lrs, .. } => {
+                assert_eq!(lrs.len(), 1, "Vanilla has one optimizer: {lrs:?}");
+                assert_eq!(lrs[0].0, "opt");
+                Some(lrs[0].1)
+            }
             _ => None,
         })
         .collect();
@@ -243,6 +247,143 @@ fn divergence_guard_rolls_back_halves_lr_and_eventually_stops() {
             "{name} contains non-finite values after guard stop"
         );
     }
+}
+
+#[test]
+fn nan_batch_trips_the_guard_mid_epoch() {
+    // Regression test for the epoch-mean dilution bug: a single NaN input
+    // poisons exactly one batch. The per-batch check must abort that epoch
+    // at the offending batch (a `BatchDivergence` event) and feed the
+    // existing rollback path the same epoch — previously the NaN was only
+    // visible to the guard through the epoch-mean loss at the boundary,
+    // an entire epoch of wasted (and weight-poisoning) steps later.
+    let mut ds = digits(38);
+    let poisoned = {
+        let mut data = ds.train_x.as_slice().to_vec();
+        let mid = data.len() / 2;
+        data[mid] = f32::NAN;
+        zk_gandef_repro::tensor::Tensor::from_vec(ds.train_x.shape().dims().to_vec(), data)
+    };
+    ds.train_x = poisoned;
+
+    let mut cfg = TrainConfig::quick(DatasetKind::SynthDigits);
+    cfg.epochs = 4;
+    cfg.lr = 0.003;
+    cfg.guard = GuardPolicy {
+        max_retries: 2,
+        spike_factor: 4.0,
+        lr_backoff: 0.5,
+    };
+    let mut rng = Prng::new(3);
+    // tanh hidden layer: tanh(NaN) = NaN, so the poisoned pixel reaches the
+    // loss (ReLU's `max(NaN, 0)` would silently flush it to zero).
+    let model = zk_gandef_repro::nn::layer::Sequential::new(vec![
+        Box::new(zk_gandef_repro::nn::layer::Flatten) as Box<dyn zk_gandef_repro::nn::layer::Layer>,
+        Box::new(zk_gandef_repro::nn::layer::Dense::new(
+            "fc1",
+            28 * 28,
+            24,
+            Some(zk_gandef_repro::nn::layer::Act::Tanh),
+        )),
+        Box::new(zk_gandef_repro::nn::layer::Dense::new("fc2", 24, 10, None)),
+    ]);
+    let mut net = Net::new(model, &mut rng);
+    let report = Vanilla.train(&mut net, &ds, &cfg, &mut rng);
+
+    let batch_events: Vec<_> = report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            RunEvent::BatchDivergence { epoch, batch, loss } => Some((*epoch, *batch, *loss)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !batch_events.is_empty(),
+        "the NaN batch must be caught at batch granularity: {:?}",
+        report.events
+    );
+    for (_, _, loss) in &batch_events {
+        assert!(!loss.is_finite(), "the flagged batch loss is the NaN one");
+    }
+    // The rollback path fires in the SAME epoch as the batch detection.
+    let first_batch_epoch = batch_events[0].0;
+    assert!(
+        report.events.iter().any(|e| matches!(e,
+            RunEvent::Rollback { epoch, .. } if *epoch == first_batch_epoch)),
+        "rollback must fire in the epoch of the divergent batch: {:?}",
+        report.events
+    );
+    // The poisoned example survives every retry, so the guard gives up…
+    assert!(
+        report
+            .events
+            .iter()
+            .any(|e| matches!(e, RunEvent::GuardStop { .. })),
+        "{:?}",
+        report.events
+    );
+    // …having never let NaN gradients reach the weights.
+    for (name, t) in net.params.iter() {
+        assert!(t.is_finite(), "{name} non-finite after NaN-batch guard");
+    }
+    // Only healthy epochs are recorded, and all of them finitely.
+    assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+}
+
+#[test]
+fn rotated_checkpoints_survive_a_damaged_primary() {
+    with_accum(Accum::F64, || {
+        let ds = digits(39);
+        let dir = temp_dir("rotate");
+
+        // Straight 6-epoch oracle.
+        let mut rng = Prng::new(8);
+        let mut straight = mlp(&mut rng);
+        Vanilla.train(&mut straight, &ds, &f64_cfg(6), &mut rng);
+
+        // 4 epochs with keep-last-3 rotation.
+        let mut rng = Prng::new(8);
+        let mut first = mlp(&mut rng);
+        let mut cfg4 = f64_cfg(4);
+        cfg4.checkpoint = Some(CheckpointPolicy::new(&dir).keep(3));
+        Vanilla.train(&mut first, &ds, &cfg4, &mut rng);
+        assert_eq!(
+            RunState::read_manifest(&dir).expect("rotation writes a manifest"),
+            vec![
+                "run_state.e4.gnrs",
+                "run_state.e3.gnrs",
+                "run_state.e2.gnrs"
+            ]
+        );
+        assert!(!dir.join("run_state.e1.gnrs").exists(), "pruned past keep");
+
+        // Corrupt the primary — the crash-during-overwrite scenario.
+        let path = RunState::path_in(&dir);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Resume falls back to the newest stamp (same epoch-4 state), so
+        // the run still resumes — and stays bit-exact.
+        let mut rng = Prng::new(8);
+        let mut resumed = mlp(&mut rng);
+        let mut cfg6 = f64_cfg(6);
+        cfg6.checkpoint = Some(CheckpointPolicy::new(&dir).keep(3));
+        let report = Vanilla.train(&mut resumed, &ds, &cfg6, &mut rng);
+        assert!(
+            report.events.contains(&RunEvent::Resumed { epoch: 4 }),
+            "rotation fallback must still resume: {:?}",
+            report.events
+        );
+        assert_eq!(
+            params_fingerprint(&straight.params),
+            params_fingerprint(&resumed.params),
+            "fallback resume must stay bit-exact"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    });
 }
 
 #[test]

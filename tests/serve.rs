@@ -1,0 +1,210 @@
+//! Serving-semantics contracts for `gandef_serve`.
+//!
+//! Pins the three guarantees the serving layer advertises:
+//!
+//! 1. **Batching is invisible.** With f64 accumulation forced on the
+//!    batcher, a fused batch of N requests returns bit-identical rows to
+//!    N independent unbatched forward passes.
+//! 2. **Hot-reload is atomic.** A torn / corrupt checkpoint file is never
+//!    served — the watcher rejects it and keeps answering from the
+//!    previous verified snapshot; a good checkpoint swaps in whole.
+//! 3. **Shutdown drains.** Every request accepted before shutdown still
+//!    resolves.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use zk_gandef_repro::nn::layer::{Act, Dense, Layer, Sequential};
+use zk_gandef_repro::nn::serialize::save_params;
+use zk_gandef_repro::nn::Params;
+use zk_gandef_repro::serve::{ServeConfig, Server};
+use zk_gandef_repro::tensor::accum::{with_accum, Accum};
+use zk_gandef_repro::tensor::rng::Prng;
+use zk_gandef_repro::tensor::Tensor;
+
+const IN: usize = 12;
+const OUT: usize = 5;
+
+fn model() -> Sequential {
+    Sequential::new(vec![
+        Box::new(Dense::new("fc1", IN, 16, Some(Act::Tanh))) as Box<dyn Layer>,
+        Box::new(Dense::new("fc2", 16, OUT, None)),
+    ])
+}
+
+fn init_params(seed: u64) -> Params {
+    let mut rng = Prng::new(seed);
+    let mut params = Params::default();
+    model().init(&mut params, &mut rng);
+    params
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gandef-serve-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn examples(n: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = Prng::new(seed);
+    (0..n)
+        .map(|_| rng.uniform_tensor(&[IN], -1.0, 1.0))
+        .collect()
+}
+
+/// Contract 1: under f64 accumulation, one fused forward over the batch
+/// is bit-identical to serving each example alone. This is the whole
+/// point of the `ServeConfig::accum` escape hatch — dynamic batching must
+/// not change what a client observes.
+#[test]
+fn batched_rows_are_bit_identical_to_unbatched() {
+    let n = 8;
+    let params = init_params(11);
+    let xs = examples(n, 12);
+
+    // Reference: unbatched tape-free forwards on this thread, same accum.
+    let reference: Vec<Tensor> = with_accum(Accum::F64, || {
+        let m = model();
+        xs.iter()
+            .map(|x| m.infer(&params, x.reshape(&[1, IN])))
+            .collect()
+    });
+
+    // Serve all n as one batch: batcher waits until the batch is full.
+    let cfg = ServeConfig::default()
+        .max_batch(n)
+        .max_wait(Duration::from_secs(30))
+        .accum(Accum::F64);
+    let server = Server::new(model(), params, vec![IN], cfg);
+    let pendings: Vec<_> = xs
+        .iter()
+        .map(|x| server.submit(x.clone()).unwrap())
+        .collect();
+    let served: Vec<Tensor> = pendings.into_iter().map(|p| p.wait().unwrap()).collect();
+
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.batches, 1,
+        "all {n} requests must fuse into one forward pass"
+    );
+    assert_eq!(stats.requests, n as u64);
+    for (i, (got, want)) in served.iter().zip(&reference).enumerate() {
+        assert_eq!(
+            got.as_slice(),
+            want.as_slice(),
+            "row {i}: batched output must be bit-identical to unbatched"
+        );
+    }
+}
+
+/// Contract 2: the watcher only swaps in checkpoints that pass the CRC
+/// and match the architecture. Corrupt bytes and wrong-shape parameter
+/// sets are rejected while the server keeps serving the old weights; a
+/// good checkpoint then swaps in atomically and changes the outputs.
+#[test]
+fn hot_reload_never_serves_a_torn_snapshot() {
+    let dir = temp_dir("reload");
+    let ckpt = dir.join("weights.gndf");
+    let params_a = init_params(21);
+    save_params(&params_a, &ckpt).unwrap();
+
+    let cfg = ServeConfig::default()
+        .max_batch(1)
+        .accum(Accum::F64)
+        .reload_poll(Duration::from_millis(5));
+    let server = Server::with_hot_reload(model(), params_a.clone(), vec![IN], cfg, ckpt.clone());
+
+    let x = examples(1, 22).remove(0);
+    let before = server.classify(x.clone()).unwrap();
+
+    let wait_for = |pred: &dyn Fn() -> bool, what: &str| {
+        for _ in 0..400 {
+            if pred() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("timed out waiting for {what}; stats = {:?}", server.stats());
+    };
+
+    // A torn write: garbage bytes with a different length so the file key
+    // changes. Must be rejected, and the server must keep answering from
+    // the last good snapshot.
+    std::fs::write(&ckpt, b"GNDF torn mid-write: not a checkpoint").unwrap();
+    wait_for(
+        &|| server.stats().rejected_reloads >= 1,
+        "corrupt-file rejection",
+    );
+    assert_eq!(server.stats().reloads, 0);
+    assert_eq!(
+        server.classify(x.clone()).unwrap().as_slice(),
+        before.as_slice(),
+        "a rejected reload must not perturb served outputs"
+    );
+
+    // A valid checkpoint for a *different* architecture: verified CRC but
+    // incompatible shapes — also rejected.
+    let mut alien = Params::default();
+    let mut rng = Prng::new(23);
+    Sequential::new(vec![
+        Box::new(Dense::new("fc1", IN + 1, 3, None)) as Box<dyn Layer>
+    ])
+    .init(&mut alien, &mut rng);
+    save_params(&alien, &ckpt).unwrap();
+    wait_for(
+        &|| server.stats().rejected_reloads >= 2,
+        "incompatible-shape rejection",
+    );
+    assert_eq!(server.stats().reloads, 0);
+    assert_eq!(
+        server.classify(x.clone()).unwrap().as_slice(),
+        before.as_slice()
+    );
+
+    // Fresh compatible weights: swapped in whole, outputs change.
+    let params_b = init_params(29);
+    save_params(&params_b, &ckpt).unwrap();
+    wait_for(&|| server.stats().reloads >= 1, "verified reload");
+    let after = server.classify(x.clone()).unwrap();
+    let expected = with_accum(Accum::F64, || model().infer(&params_b, x.reshape(&[1, IN])));
+    assert_eq!(
+        after.as_slice(),
+        expected.as_slice(),
+        "post-reload outputs must come entirely from the new snapshot"
+    );
+    assert_ne!(after.as_slice(), before.as_slice());
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Contract 3: shutdown stops *accepting* but never drops accepted work —
+/// every Pending issued before shutdown resolves, even when the batch
+/// deadline is far in the future.
+#[test]
+fn shutdown_drains_the_queue() {
+    let k = 17;
+    let params = init_params(31);
+    // Neither trigger can fire on its own inside the test window: only
+    // the shutdown drain can serve these requests.
+    let cfg = ServeConfig::default()
+        .max_batch(1000)
+        .max_wait(Duration::from_secs(3600))
+        .accum(Accum::F64);
+    let server = Server::new(model(), params, vec![IN], cfg);
+    let pendings: Vec<_> = examples(k, 32)
+        .into_iter()
+        .map(|x| server.submit(x).unwrap())
+        .collect();
+
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, k as u64);
+    for (i, p) in pendings.into_iter().enumerate() {
+        let y = p
+            .wait()
+            .unwrap_or_else(|e| panic!("request {i} dropped on shutdown: {e}"));
+        assert_eq!(y.shape().dims(), &[1, OUT]);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+}
