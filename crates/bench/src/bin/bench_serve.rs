@@ -76,34 +76,64 @@ fn main() {
     let inputs: Vec<Tensor> = (0..clients)
         .map(|_| rng.uniform_tensor(&[1, 28, 28], 0.0, 1.0))
         .collect();
+    // Clients report through a channel instead of being joined directly:
+    // a panicking client (or a batcher it killed) leaves its siblings
+    // parked in `Pending::wait`, and a bare `join()` on those would hang
+    // the whole benchmark. `recv_timeout` bounds the wait and turns a
+    // wedged run into a diagnostic + nonzero exit.
+    const CLIENT_DEADLINE: Duration = Duration::from_secs(120);
     let started = Instant::now();
     let mut latencies_ns: Vec<f64> = std::thread::scope(|scope| {
-        let handles: Vec<_> = inputs
-            .iter()
-            .map(|x| {
-                let server = &server;
-                // lint:allow(spawn) — benchmark *clients* must be real
-                // blocking threads: each one parks in `Pending::wait`,
-                // which would deadlock the compute pool the batcher's
-                // forward pass runs on.
-                scope.spawn(move || {
-                    let mut lat = Vec::with_capacity(per_client);
-                    for _ in 0..per_client {
-                        let t0 = Instant::now();
-                        let y = server
-                            .classify(x.clone())
-                            .expect("request dropped under load");
-                        assert_eq!(y.shape().dims(), &[1, CLASSES]);
-                        lat.push(t0.elapsed().as_nanos() as f64);
-                    }
-                    lat
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("client thread panicked"))
-            .collect()
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<f64>)>();
+        for (id, x) in inputs.iter().enumerate() {
+            let server = &server;
+            let tx = tx.clone();
+            // lint:allow(spawn) — benchmark *clients* must be real
+            // blocking threads: each one parks in `Pending::wait`,
+            // which would deadlock the compute pool the batcher's
+            // forward pass runs on.
+            scope.spawn(move || {
+                let mut lat = Vec::with_capacity(per_client);
+                for _ in 0..per_client {
+                    let t0 = Instant::now();
+                    let y = server
+                        .classify(x.clone())
+                        .expect("request dropped under load");
+                    assert_eq!(y.shape().dims(), &[1, CLASSES]);
+                    lat.push(t0.elapsed().as_nanos() as f64);
+                }
+                let _ = tx.send((id, lat));
+            });
+        }
+        drop(tx);
+        let mut all = Vec::with_capacity(clients * per_client);
+        let mut reported = vec![false; clients];
+        for _ in 0..clients {
+            match rx.recv_timeout(CLIENT_DEADLINE) {
+                Ok((id, lat)) => {
+                    reported[id] = true;
+                    all.extend(lat);
+                }
+                Err(e) => {
+                    let missing: Vec<String> = (0..clients)
+                        .filter(|&i| !reported[i])
+                        .map(|i| i.to_string())
+                        .collect();
+                    eprintln!(
+                        "bench_serve: client fleet wedged ({e:?}); {} of {clients} \
+                         client(s) never reported: [{}] — a panicked client or dead \
+                         batcher left them parked in Pending::wait",
+                        missing.len(),
+                        missing.join(", ")
+                    );
+                    // Exiting here skips the scope's implicit join of the
+                    // stuck threads — that join is exactly the hang this
+                    // diagnostic replaces.
+                    std::process::exit(1);
+                }
+            }
+        }
+        all
     });
     let wall_ns = started.elapsed().as_nanos() as f64;
     let stats = server.shutdown();

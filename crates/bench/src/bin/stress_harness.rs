@@ -1,0 +1,246 @@
+//! Concurrency stress harness: hammers the two shared-state subsystems —
+//! the `gandef_tensor` worker pool and the `gandef_serve` hot-reload
+//! path — under real thread contention. It is the binary the optional
+//! ThreadSanitizer/AddressSanitizer stages of `scripts/ci.sh` run, so
+//! every assertion here doubles as an instrumented-data-race probe; it
+//! also runs uninstrumented as a plain smoke check.
+//!
+//! Stages:
+//!
+//! 1. **pool** — several submitter threads race `parallel_for`,
+//!    `parallel_for_mut`, `parallel_tasks` and `with_serial` against one
+//!    another, including one deliberately panicking job (the pool must
+//!    contain the panic to its submitter and stay serviceable).
+//! 2. **serve** — weights-fingerprint hot-reload contention: a writer
+//!    rewrites the watched checkpoint while client threads hammer
+//!    `classify`; any batch mixing two snapshots produces a non-constant
+//!    output row and fails.
+//!
+//! All client fleets are joined through bounded channel waits — a wedged
+//! thread produces a diagnostic and exit 1, never a hung harness.
+//!
+//! Usage: `stress_harness [--smoke]` (`--smoke` shrinks iteration counts
+//! for sanitizer builds, which run 10-50x slower).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use gandef_nn::layer::{Dense, Layer, Sequential};
+use gandef_nn::serialize::save_params;
+use gandef_nn::Params;
+use gandef_serve::{ServeConfig, Server};
+use gandef_tensor::accum::Accum;
+use gandef_tensor::pool;
+use gandef_tensor::rng::Prng;
+use gandef_tensor::Tensor;
+
+const IN: usize = 12;
+const OUT: usize = 5;
+
+/// Bound on every fleet join: generous for sanitizer slowdown, small
+/// enough that CI fails fast instead of timing out the whole pipeline.
+const JOIN_DEADLINE: Duration = Duration::from_secs(180);
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (pool_rounds, serve_reqs, versions) = if smoke { (20, 40, 10) } else { (200, 400, 50) };
+
+    // The pool stage injects panics on purpose; keep their backtraces out
+    // of the CI log while leaving every other panic loud.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+        let injected = msg.is_some_and(|s| s.contains("injected stress panic"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    stress_pool(pool_rounds);
+    println!("stress_harness: pool stage OK ({pool_rounds} rounds)");
+    stress_serve(serve_reqs, versions);
+    println!("stress_harness: serve stage OK ({serve_reqs} reqs/client, {versions} reloads)");
+}
+
+/// Joins a fleet of `n` workers reporting over `rx` within the deadline;
+/// a missing report means a wedged or dead thread — diagnose and exit 1.
+fn bounded_join(rx: &mpsc::Receiver<usize>, n: usize, stage: &str) {
+    let mut reported = vec![false; n];
+    for _ in 0..n {
+        match rx.recv_timeout(JOIN_DEADLINE) {
+            Ok(id) => reported[id] = true,
+            Err(e) => {
+                let missing: Vec<String> = (0..n)
+                    .filter(|&i| !reported[i])
+                    .map(|i| i.to_string())
+                    .collect();
+                eprintln!(
+                    "stress_harness: {stage} fleet wedged ({e:?}); {} of {n} worker(s) \
+                     never reported: [{}]",
+                    missing.len(),
+                    missing.join(", ")
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Stage 1: concurrent submitters racing every pool entry point.
+fn stress_pool(rounds: usize) {
+    const SUBMITTERS: usize = 4;
+    const N: usize = 4096;
+    let (tx, rx) = mpsc::channel::<usize>();
+    std::thread::scope(|scope| {
+        for id in 0..SUBMITTERS {
+            let tx = tx.clone();
+            // lint:allow(spawn) — the harness must contend *against* the
+            // pool from independent OS threads; routing submitters through
+            // the pool itself would serialize the very races under test.
+            scope.spawn(move || {
+                for round in 0..rounds {
+                    match (id + round) % 4 {
+                        0 => {
+                            // Reduction via parallel_tasks.
+                            let parts = pool::parallel_tasks(8, |t| {
+                                (t * N / 8..(t + 1) * N / 8).map(|i| i as u64).sum::<u64>()
+                            });
+                            let total: u64 = parts.iter().sum();
+                            assert_eq!(total, (N as u64 - 1) * N as u64 / 2);
+                        }
+                        1 => {
+                            // Disjoint mutation via parallel_for_mut.
+                            let mut data = vec![0.0f32; N];
+                            pool::parallel_for_mut(&mut data, 1, 64, |start, chunk| {
+                                for (k, v) in chunk.iter_mut().enumerate() {
+                                    *v = (start + k) as f32;
+                                }
+                            });
+                            assert_eq!(data[N - 1], (N - 1) as f32);
+                        }
+                        2 => {
+                            // Inline execution under with_serial, nested in
+                            // the contention storm.
+                            let spawned_before = pool::stats().threads_spawned;
+                            pool::with_serial(|| {
+                                pool::parallel_for(N, 64, |range| {
+                                    assert!(range.end <= N);
+                                });
+                            });
+                            assert_eq!(
+                                pool::stats().threads_spawned,
+                                spawned_before,
+                                "with_serial must not spawn"
+                            );
+                        }
+                        _ => {
+                            // A panicking job: must be contained to this
+                            // submitter; the pool stays serviceable.
+                            let r = catch_unwind(AssertUnwindSafe(|| {
+                                pool::parallel_for(N, 64, |range| {
+                                    assert!(!range.contains(&(N / 2)), "injected stress panic");
+                                });
+                            }));
+                            assert!(r.is_err(), "injected panic must propagate");
+                            // The pool must still run clean jobs afterwards.
+                            pool::parallel_for(N, 64, |_| {});
+                        }
+                    }
+                }
+                let _ = tx.send(id);
+            });
+        }
+        drop(tx);
+        bounded_join(&rx, SUBMITTERS, "pool");
+    });
+}
+
+/// Single-Dense model whose output rows fingerprint the weights snapshot:
+/// zero weights + constant bias `version` make every row `[version; OUT]`
+/// bit-for-bit.
+fn fingerprint_params(version: f32) -> Params {
+    let mut p = Params::default();
+    p.insert("fp.w", Tensor::zeros(&[IN, OUT]));
+    p.insert("fp.b", Tensor::full(&[OUT], version));
+    p
+}
+
+fn fingerprint_model() -> Sequential {
+    Sequential::new(vec![
+        Box::new(Dense::new("fp", IN, OUT, None)) as Box<dyn Layer>
+    ])
+}
+
+/// Stage 2: hot-reload under contention — no batch may mix snapshots.
+fn stress_serve(reqs_per_client: usize, versions: usize) {
+    const CLIENTS: usize = 4;
+    let dir = std::env::temp_dir().join(format!("gandef-stress-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create stress temp dir");
+    let ckpt = dir.join("weights.gndf");
+    save_params(&fingerprint_params(1.0), &ckpt).expect("seed checkpoint");
+
+    let cfg = ServeConfig::default()
+        .max_batch(CLIENTS)
+        .max_wait(Duration::from_micros(200))
+        .accum(Accum::F64)
+        .reload_poll(Duration::from_millis(1));
+    let server = Server::with_hot_reload(
+        fingerprint_model(),
+        fingerprint_params(1.0),
+        vec![IN],
+        cfg,
+        ckpt.clone(),
+    );
+
+    let mut rng = Prng::new(71);
+    let xs: Vec<Tensor> = (0..CLIENTS)
+        .map(|_| rng.uniform_tensor(&[IN], -1.0, 1.0))
+        .collect();
+    let (tx, rx) = mpsc::channel::<usize>();
+    std::thread::scope(|scope| {
+        let ckpt = &ckpt;
+        // lint:allow(spawn) — the checkpoint writer must run while the
+        // clients below are blocked in Pending::wait; the compute pool
+        // would deadlock on those parked jobs.
+        scope.spawn(move || {
+            for v in 0..versions {
+                save_params(&fingerprint_params((v + 2) as f32), ckpt).expect("rewrite checkpoint");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+        for (id, x) in xs.iter().enumerate() {
+            let server = &server;
+            let tx = tx.clone();
+            // lint:allow(spawn) — same blocking-client argument as above.
+            scope.spawn(move || {
+                for _ in 0..reqs_per_client {
+                    let y = server.classify(x.clone()).expect("request dropped");
+                    let row = y.as_slice();
+                    let v = row[0];
+                    assert!(
+                        row.iter().all(|&e| e == v),
+                        "mixed-snapshot batch: row {row:?} is not constant"
+                    );
+                    assert!(
+                        (1.0..=(versions + 1) as f32).contains(&v) && v.fract() == 0.0,
+                        "output fingerprints version {v}, never written"
+                    );
+                }
+                let _ = tx.send(id);
+            });
+        }
+        drop(tx);
+        bounded_join(&rx, CLIENTS, "serve");
+    });
+
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, (CLIENTS * reqs_per_client) as u64);
+    assert!(stats.reloads >= 1, "no reload ever happened: {stats:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}

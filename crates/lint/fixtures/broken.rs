@@ -1,0 +1,9 @@
+//! Deliberately unbalanced fixture: the `(` below is never closed, so
+//! the lint reports a parse error and exits 2 (not 1 — rule verdicts for
+//! a structurally broken file are not trustworthy). Exercised by the
+//! integration tests; NOT part of the seeded self-test fixture set.
+
+pub fn broken(a: u32, b: u32) -> u32 {
+    let c = (a + b;
+    c
+}

@@ -60,7 +60,7 @@ fn is_panic_macro(name: &str) -> bool {
 /// slices, floats) that resolving them to same-named workspace methods
 /// would drown the report in false edges. Method-syntax calls with these
 /// names create no call-graph edge.
-const STD_METHODS: &[&str] = &[
+pub(crate) const STD_METHODS: &[&str] = &[
     "abs",
     "all",
     "any",

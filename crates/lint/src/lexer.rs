@@ -41,7 +41,7 @@ pub enum TokKind {
     Punct(char),
 }
 
-/// One lexed token with its 1-based source line.
+/// One lexed token with its 1-based source line and column.
 #[derive(Debug, Clone)]
 pub struct Token {
     /// What kind of token this is.
@@ -50,6 +50,8 @@ pub struct Token {
     pub text: String,
     /// 1-based line on which the token starts.
     pub line: usize,
+    /// 1-based byte column at which the token starts on its line.
+    pub col: usize,
 }
 
 impl Token {
@@ -70,11 +72,23 @@ impl Token {
 /// and unterminated literals extend to end of input. That keeps the lint
 /// usable on any input (including deliberately broken fixtures).
 pub fn lex(src: &str) -> Vec<Token> {
+    // Byte offset at which each 1-based line starts; lets push_span derive
+    // a column for any (start, line) pair, including tokens that begin on
+    // an earlier line than the lexer's current position (multi-line
+    // strings and block comments record their *start* line).
+    let mut line_starts = vec![0usize];
+    line_starts.extend(
+        src.bytes()
+            .enumerate()
+            .filter(|(_, b)| *b == b'\n')
+            .map(|(i, _)| i + 1),
+    );
     Lexer {
         src,
         b: src.as_bytes(),
         i: 0,
         line: 1,
+        line_starts,
         out: Vec::new(),
     }
     .run()
@@ -85,6 +99,7 @@ struct Lexer<'a> {
     b: &'a [u8],
     i: usize,
     line: usize,
+    line_starts: Vec<usize>,
     out: Vec<Token>,
 }
 
@@ -121,10 +136,12 @@ impl Lexer<'_> {
     }
 
     fn push_span(&mut self, kind: TokKind, start: usize, end: usize, line: usize) {
+        let col = start - self.line_starts[line - 1] + 1;
         self.out.push(Token {
             kind,
             text: self.src[start..end].to_string(),
             line,
+            col,
         });
     }
 
@@ -530,6 +547,23 @@ mod tests {
         let _ = lex("let c = '");
         let _ = lex("/* unterminated");
         let _ = lex("let r = r#\"unterminated");
+    }
+
+    #[test]
+    fn columns_are_tracked() {
+        let toks = lex("ab cd\n  ef\nlet s = \"multi\nline\"; g");
+        let at = |name: &str| {
+            let t = toks.iter().find(|t| t.is_ident(name)).expect(name);
+            (t.line, t.col)
+        };
+        assert_eq!(at("ab"), (1, 1));
+        assert_eq!(at("cd"), (1, 4));
+        assert_eq!(at("ef"), (2, 3));
+        // A multi-line string anchors at its opening quote…
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).expect("str");
+        assert_eq!((s.line, s.col), (3, 9));
+        // …and the token after it lands on the closing line's column.
+        assert_eq!(at("g"), (4, 8));
     }
 
     #[test]

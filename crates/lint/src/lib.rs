@@ -5,8 +5,8 @@
 //! third-party lint frameworks as enforcement mechanisms for our own
 //! invariants. This crate is the in-repo replacement: a small hand-rolled
 //! Rust tokenizer ([`lexer`]), a structural item/call parser ([`parser`])
-//! and nine named rules ([`rules`]) that encode the repo's unsafe-surface,
-//! robustness and hot-path policy:
+//! and thirteen named rules ([`rules`]) that encode the repo's
+//! unsafe-surface, robustness, hot-path and concurrency policy:
 //!
 //! 1. **safety** — every `unsafe` site carries a `// SAFETY:` comment;
 //! 2. **panic** — no `unwrap()/expect(/panic!` in library code;
@@ -16,22 +16,30 @@
 //! 6. **alloc** — no heap allocation inside hot-path loop bodies;
 //! 7. **cast** — lossy numeric casts in kernels are guarded or annotated;
 //! 8. **grad** — every tape push registers a backward closure;
-//! 9. **shape** — public tensor fns assert shapes before indexing.
+//! 9. **shape** — public tensor fns assert shapes before indexing;
+//! 10. **shared** — no `static mut`; shared-state slots carry comments;
+//! 11. **lockorder** — the lock-acquisition-order graph stays acyclic;
+//! 12. **atomics** — `Relaxed` is annotated, `Acquire`/`Release` name
+//!     their partner site;
+//! 13. **sync** — `unsafe impl Send/Sync` cites the fields it covers.
 //!
 //! On top of the same parser, [`callgraph`] computes **panic
 //! reachability** for the public API; `docs/PANICS.md` is the checked-in
-//! report and `scripts/ci.sh` fails on drift. Run as `gandef-lint` (no
-//! arguments) from the workspace root; see `docs/LINT.md` for the rule
-//! reference and `scripts/ci.sh` for the CI wiring, including the
-//! seeded-fixture self-test that proves the lint still detects every
-//! rule.
+//! report and `scripts/ci.sh` fails on drift. The concurrency rules
+//! additionally feed a shared-state inventory + lock-order report,
+//! checked in as `docs/CONCURRENCY.md` under the same drift gate. Run as
+//! `gandef-lint` (no arguments) from the workspace root; see
+//! `docs/LINT.md` for the rule reference and `scripts/ci.sh` for the CI
+//! wiring, including the seeded-fixture self-test that proves the lint
+//! still detects every rule.
 
 pub mod callgraph;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
 
-use rules::{check_file, FileReport, KnobRead, Rule, Violation};
+use rules::concurrency::{self, FileConc};
+use rules::{check_file, FileReport, KnobRead, ParseError, Rule, Violation};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -68,8 +76,12 @@ impl Config {
 pub struct Outcome {
     /// Number of files checked.
     pub files_checked: usize,
-    /// All violations, in path/line order.
+    /// All violations, in path/line/column order.
     pub violations: Vec<Violation>,
+    /// Delimiter-balance failures, one per broken file. Non-empty means
+    /// the structural analysis (and thus every rule verdict) is suspect
+    /// for those files; the CLI exits 2 instead of 1.
+    pub parse_errors: Vec<ParseError>,
     /// Per-file wall time in milliseconds, in file order (for
     /// `--timings`).
     pub timings: Vec<(String, f64)>,
@@ -91,13 +103,21 @@ pub fn run(cfg: &Config) -> io::Result<Outcome> {
     let registry = read_registry(&knobs_path);
 
     let mut violations = Vec::new();
+    let mut parse_errors = Vec::new();
     let mut reads: Vec<KnobRead> = Vec::new();
     let mut timings = Vec::with_capacity(files.len());
+    let mut fn_locks = Vec::new();
     for (display, report, ms) in check_files_parallel(&files, &cfg.root)? {
         violations.extend(report.violations);
+        parse_errors.extend(report.parse_error);
         reads.extend(report.knob_reads);
+        fn_locks.extend(report.conc.fn_locks);
         timings.push((display, ms));
     }
+
+    // Rule `lockorder` is interprocedural: the acquisition-order graph
+    // only exists once every file's per-fn lock facts are aggregated.
+    violations.extend(concurrency::lock_order_violations(&fn_locks));
 
     // Rule `knob`, read direction: every GANDEF_* env read must be a
     // registry row.
@@ -108,6 +128,7 @@ pub fn run(cfg: &Config) -> io::Result<Outcome> {
         violations.push(Violation {
             file: read.file.clone(),
             line: read.line,
+            col: read.col,
             rule: Rule::Knob,
             message: format!(
                 "env knob `{}` is not declared in {}",
@@ -124,6 +145,7 @@ pub fn run(cfg: &Config) -> io::Result<Outcome> {
                 violations.push(Violation {
                     file: knobs_path.display().to_string(),
                     line: *line,
+                    col: 1,
                     rule: Rule::Knob,
                     message: format!(
                         "registry row `{name}` has no `std::env::var` read in the workspace \
@@ -134,10 +156,12 @@ pub fn run(cfg: &Config) -> io::Result<Outcome> {
         }
     }
 
-    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    violations.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    parse_errors.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
     Ok(Outcome {
         files_checked: files.len(),
         violations,
+        parse_errors,
         timings,
     })
 }
@@ -166,6 +190,9 @@ fn check_files_parallel(
                     scope.spawn(|| {
                         let mut local = Vec::new();
                         loop {
+                            // lint:allow(atomics) — work-stealing ticket
+                            // counter; each worker only needs a unique
+                            // index, not ordering against other memory.
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= files.len() {
                                 break;
@@ -214,24 +241,42 @@ fn check_files_parallel(
 }
 
 /// Renders an [`Outcome`] as machine-readable JSON (for `--format=json`):
-/// one object with `files_checked` and a `violations` array carrying
-/// `file`, `line`, `rule`, `message` and an `allow_hint` showing the
+/// one object with `files_checked`, a `parse_errors` array (`file`,
+/// `line`, `col`, `message`) and a `violations` array carrying `file`,
+/// `line`, `col`, `rule`, `message` and an `allow_hint` showing the
 /// suppression comment that would silence the site.
 pub fn render_json(outcome: &Outcome) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"files_checked\": {},\n  \"violations\": [",
+        "  \"files_checked\": {},\n  \"parse_errors\": [",
         outcome.files_checked
     ));
+    for (i, e) in outcome.parse_errors.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"}}",
+            json_escape(&e.file),
+            e.line,
+            e.col,
+            json_escape(&e.message)
+        ));
+    }
+    if !outcome.parse_errors.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"violations\": [");
     for (i, v) in outcome.violations.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push_str(&format!(
-            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\", \
-             \"allow_hint\": \"// lint:allow({}) — <reason>\"}}",
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \
+             \"message\": \"{}\", \"allow_hint\": \"// lint:allow({}) — <reason>\"}}",
             json_escape(&v.file),
             v.line,
+            v.col,
             v.rule.name(),
             json_escape(&v.message),
             v.rule.name()
@@ -277,6 +322,28 @@ pub fn panic_report(cfg: &Config) -> io::Result<String> {
         inputs.push((display, src));
     }
     Ok(callgraph::panic_report(&inputs))
+}
+
+/// Generates the concurrency report — shared-state inventory, `unsafe
+/// impl` audit, atomic-ordering table and lock-acquisition-order graph —
+/// over the workspace's library sources. Deterministic (file walk order,
+/// sorted graph) and intended to be written to `docs/CONCURRENCY.md`.
+pub fn concurrency_report(cfg: &Config) -> io::Result<String> {
+    let files = workspace_sources(&cfg.root)?;
+    let mut inputs: Vec<(String, FileConc)> = Vec::new();
+    for path in &files {
+        let display = display_path(path, &cfg.root);
+        if !is_lib_code(&display) {
+            continue; // bins/tests/examples: same scope as the rules
+        }
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+        let report = check_file(&display, &src, true);
+        if !(report.conc.inventory.is_empty() && report.conc.fn_locks.is_empty()) {
+            inputs.push((display, report.conc));
+        }
+    }
+    Ok(concurrency::render_report(&inputs))
 }
 
 /// True if `path` is library code for the `panic` rule: not under

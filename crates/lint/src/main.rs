@@ -5,14 +5,18 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: gandef-lint [--root DIR] [--knobs FILE] [--format text|json]\n\
-                    \x20                  [--timings] [--panics FILE] [FILES...]\n\
+                    \x20                  [--timings] [--panics FILE] [--concurrency FILE]\n\
+                    \x20                  [FILES...]\n\
   With no FILES, walks every `src/`, `tests/` and `examples/` tree of the\n\
   workspace under --root (default `.`).\n\
-  --format json   machine-readable violation report on stdout\n\
-  --timings       per-file wall time on stderr, slowest first\n\
-  --panics FILE   write the panic-reachability report (docs/PANICS.md) to\n\
-                  FILE instead of linting\n\
-  Exit codes: 0 clean, 1 violations, 2 usage/I-O error.";
+  --format json       machine-readable report on stdout (violations with\n\
+                      file/line/col plus a parse_errors array)\n\
+  --timings           per-file wall time on stderr, slowest first\n\
+  --panics FILE       write the panic-reachability report (docs/PANICS.md)\n\
+                      to FILE instead of linting\n\
+  --concurrency FILE  write the shared-state + lock-order report\n\
+                      (docs/CONCURRENCY.md) to FILE instead of linting\n\
+  Exit codes: 0 clean, 1 rule violations, 2 parse or usage/I-O error.";
 
 enum Format {
     Text,
@@ -24,6 +28,7 @@ fn main() -> ExitCode {
     let mut format = Format::Text;
     let mut timings = false;
     let mut panics_out: Option<PathBuf> = None;
+    let mut concurrency_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -49,6 +54,10 @@ fn main() -> ExitCode {
             "--panics" => match args.next() {
                 Some(file) => panics_out = Some(PathBuf::from(file)),
                 None => return usage_error("--panics requires an output file"),
+            },
+            "--concurrency" => match args.next() {
+                Some(file) => concurrency_out = Some(PathBuf::from(file)),
+                None => return usage_error("--concurrency requires an output file"),
             },
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -81,6 +90,26 @@ fn main() -> ExitCode {
         };
     }
 
+    if let Some(path) = concurrency_out {
+        return match gandef_lint::concurrency_report(&cfg)
+            .and_then(|report| std::fs::write(&path, report.as_bytes()).map(|()| report))
+        {
+            Ok(report) => {
+                let rows = report.lines().filter(|l| l.starts_with("| `")).count();
+                println!(
+                    "gandef-lint: wrote {} ({} inventory row(s))",
+                    path.display(),
+                    rows
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("gandef-lint: error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
     match gandef_lint::run(&cfg) {
         Ok(outcome) => {
             if timings {
@@ -92,24 +121,33 @@ fn main() -> ExitCode {
                 }
                 eprintln!("{total:9.3} ms  total ({} files)", by_cost.len());
             }
+            let clean = outcome.violations.is_empty() && outcome.parse_errors.is_empty();
             match format {
                 Format::Json => print!("{}", gandef_lint::render_json(&outcome)),
-                Format::Text if outcome.violations.is_empty() => println!(
+                Format::Text if clean => println!(
                     "gandef-lint: OK — {} files, 0 violations",
                     outcome.files_checked
                 ),
                 Format::Text => {
+                    for e in &outcome.parse_errors {
+                        eprintln!("{e}");
+                    }
                     for v in &outcome.violations {
                         eprintln!("{v}");
                     }
                     eprintln!(
-                        "gandef-lint: {} violation(s) in {} file(s) checked",
+                        "gandef-lint: {} violation(s), {} parse error(s) in {} file(s) checked",
                         outcome.violations.len(),
+                        outcome.parse_errors.len(),
                         outcome.files_checked
                     );
                 }
             }
-            if outcome.violations.is_empty() {
+            // Parse errors take precedence: a structurally broken file
+            // means every rule verdict for it is suspect.
+            if !outcome.parse_errors.is_empty() {
+                ExitCode::from(2)
+            } else if outcome.violations.is_empty() {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE

@@ -41,6 +41,8 @@ pub struct FnDef {
     pub has_self: bool,
     /// 1-based line of the `fn` keyword.
     pub line: usize,
+    /// 1-based column of the `fn` keyword.
+    pub col: usize,
     /// `(name, flattened type)` for simple `name: Type` parameters.
     pub params: Vec<(String, String)>,
     /// Flattened return type text (`Tensor`, `Result < Tensor , E >`),
@@ -68,6 +70,8 @@ pub struct Site {
     pub kind: SiteKind,
     /// 1-based source line.
     pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
     /// 1-based line where the enclosing statement starts. Differs from
     /// `line` when rustfmt wraps the statement; suppression comments sit
     /// above the statement, so rules should honor both.
@@ -289,6 +293,7 @@ impl P<'_> {
                 fns[i].sites.push(Site {
                     kind,
                     line,
+                    col: self.ct(idx).col,
                     stmt_line: self.stmt_line(idx),
                     idx,
                     loop_depth,
@@ -330,6 +335,7 @@ impl P<'_> {
         }
         let name = name_tok.text.clone();
         let line = self.ct(q).line;
+        let col = self.ct(q).col;
 
         // Visibility: walk back over modifiers to a possible `pub`.
         let mut j = q;
@@ -418,6 +424,7 @@ impl P<'_> {
             is_pub,
             has_self,
             line,
+            col,
             params,
             ret,
             in_test,

@@ -27,10 +27,11 @@
 
 use super::{suppressed_at, FileReport, Rule, Violation};
 use crate::lexer::{TokKind, Token};
-use crate::parser::{parse, CastSrc, FnDef, Parsed, Site, SiteKind};
+use crate::parser::{CastSrc, FnDef, Parsed, Site, SiteKind};
 
-/// Runs every semantic rule that is in scope for `file`.
-pub(crate) fn check(file: &str, toks: &[Token], report: &mut FileReport) {
+/// Runs every semantic rule that is in scope for `file`. The caller
+/// parses once and shares the tree with the concurrency rules.
+pub(crate) fn check(file: &str, toks: &[Token], parsed: &Parsed, report: &mut FileReport) {
     let alloc = in_hot_path(file);
     let cast = in_hot_path(file);
     let grad = in_grad_scope(file);
@@ -38,7 +39,6 @@ pub(crate) fn check(file: &str, toks: &[Token], report: &mut FileReport) {
     if !(alloc || cast || grad || shape) {
         return;
     }
-    let parsed = parse(toks);
     let comments: Vec<(usize, &str)> = toks
         .iter()
         .filter(|t| t.kind == TokKind::Comment)
@@ -47,7 +47,7 @@ pub(crate) fn check(file: &str, toks: &[Token], report: &mut FileReport) {
     let ctx = Ctx {
         file,
         comments,
-        parsed: &parsed,
+        parsed,
     };
     if alloc {
         ctx.rule_alloc(report);
@@ -86,7 +86,8 @@ fn in_shape_scope(file: &str) -> bool {
     p.contains("tensor/src/") || is_fixture(&p)
 }
 
-fn is_fixture(p: &str) -> bool {
+/// The lint's own seeded fixtures are in-scope for every rule.
+pub(crate) fn is_fixture(p: &str) -> bool {
     p.contains("lint/fixtures/")
 }
 
@@ -97,10 +98,18 @@ struct Ctx<'a> {
 }
 
 impl Ctx<'_> {
-    fn violation(&self, report: &mut FileReport, line: usize, rule: Rule, message: String) {
+    fn violation(
+        &self,
+        report: &mut FileReport,
+        line: usize,
+        col: usize,
+        rule: Rule,
+        message: String,
+    ) {
         report.violations.push(Violation {
             file: self.file.to_string(),
             line,
+            col,
             rule,
             message,
         });
@@ -152,6 +161,7 @@ impl Ctx<'_> {
                 self.violation(
                     report,
                     s.line,
+                    s.col,
                     Rule::Alloc,
                     format!(
                         "heap allocation `{what}` inside a loop on the hot path — hoist \
@@ -199,6 +209,7 @@ impl Ctx<'_> {
                 self.violation(
                     report,
                     s.line,
+                    s.col,
                     Rule::Cast,
                     format!(
                         "lossy `as {to}` cast in a kernel fn with no `debug_assert!`/\
@@ -267,6 +278,7 @@ impl Ctx<'_> {
                 self.violation(
                     report,
                     s.line,
+                    s.col,
                     Rule::Grad,
                     "tape push with `None` backward — a forward op without a gradient \
                      breaks white-box attacks; register `Some(Box::new(move |g| …))` \
@@ -308,6 +320,7 @@ impl Ctx<'_> {
             self.violation(
                 report,
                 f.line,
+                f.col,
                 Rule::Shape,
                 format!(
                     "public Tensor-returning fn `{}` indexes (line {}) before any shape \

@@ -5,7 +5,7 @@
 //! dedicated lint stage.
 
 use gandef_lint::rules::Rule;
-use gandef_lint::{panic_report, render_json, run, Config};
+use gandef_lint::{concurrency_report, panic_report, render_json, run, Config};
 use std::path::{Path, PathBuf};
 
 fn workspace_root() -> PathBuf {
@@ -22,6 +22,7 @@ fn seeded_fixtures_trip_every_rule_exactly_once() {
     cfg.files = vec![
         root.join("crates/lint/fixtures/seeded.rs"),
         root.join("crates/lint/fixtures/seeded_semantic.rs"),
+        root.join("crates/lint/fixtures/seeded_concurrency.rs"),
     ];
     let outcome = run(&cfg).expect("lint run");
     for rule in Rule::ALL {
@@ -94,6 +95,7 @@ fn json_format_names_all_fixture_rules() {
     cfg.files = vec![
         root.join("crates/lint/fixtures/seeded.rs"),
         root.join("crates/lint/fixtures/seeded_semantic.rs"),
+        root.join("crates/lint/fixtures/seeded_concurrency.rs"),
     ];
     let outcome = run(&cfg).expect("lint run");
     let json = render_json(&outcome);
@@ -104,8 +106,67 @@ fn json_format_names_all_fixture_rules() {
             rule.name()
         );
     }
-    assert!(json.contains("\"files_checked\": 2"), "{json}");
+    assert!(json.contains("\"files_checked\": 3"), "{json}");
     assert!(json.contains("allow_hint"), "{json}");
+    // Columns ride along in both formats; parse_errors is always present.
+    assert!(json.contains("\"col\": "), "{json}");
+    assert!(json.contains("\"parse_errors\": []"), "{json}");
+}
+
+#[test]
+fn concurrency_report_is_in_sync() {
+    let root = workspace_root();
+    let fresh = concurrency_report(&Config::workspace(&root)).expect("concurrency report");
+    let checked_in = std::fs::read_to_string(root.join("docs/CONCURRENCY.md")).expect(
+        "docs/CONCURRENCY.md — regenerate with `gandef-lint --concurrency docs/CONCURRENCY.md`",
+    );
+    assert_eq!(
+        fresh.trim(),
+        checked_in.trim(),
+        "docs/CONCURRENCY.md is stale: shared state, atomics, unsafe impls or \
+         lock usage changed. Review the inventory, then regenerate with \
+         `./target/release/gandef-lint --concurrency docs/CONCURRENCY.md`"
+    );
+}
+
+#[test]
+fn unbalanced_file_is_a_parse_error_not_a_verdict() {
+    let root = workspace_root();
+    let mut cfg = Config::workspace(&root);
+    cfg.files = vec![root.join("crates/lint/fixtures/broken.rs")];
+    let outcome = run(&cfg).expect("lint run");
+    assert_eq!(outcome.parse_errors.len(), 1, "{:?}", outcome.parse_errors);
+    let e = &outcome.parse_errors[0];
+    assert!(
+        e.message.contains("mismatched"),
+        "unexpected diagnosis: {e}"
+    );
+    assert!(
+        e.line > 0 && e.col > 0,
+        "parse errors carry a location: {e}"
+    );
+    let json = render_json(&outcome);
+    assert!(
+        json.contains("\"parse_errors\": [\n"),
+        "parse errors must appear in the JSON report:\n{json}"
+    );
+}
+
+#[test]
+fn violations_carry_columns() {
+    let root = workspace_root();
+    let mut cfg = Config::workspace(&root);
+    cfg.files = vec![root.join("crates/lint/fixtures/seeded.rs")];
+    let outcome = run(&cfg).expect("lint run");
+    assert!(!outcome.violations.is_empty());
+    for v in &outcome.violations {
+        assert!(v.col >= 1, "column must be 1-based: {v}");
+        let rendered = format!("{v}");
+        assert!(
+            rendered.contains(&format!(":{}:{}: ", v.line, v.col)),
+            "text diagnostics must render file:line:col — got {rendered}"
+        );
+    }
 }
 
 #[test]

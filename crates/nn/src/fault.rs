@@ -89,6 +89,8 @@ static ENV_HITS: AtomicUsize = AtomicUsize::new(0);
 static TOTAL_POINTS: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
+    /// The fault armed by `with_fault` for the current thread only, so
+    /// concurrent tests cannot trip each other's injections.
     static LOCAL: RefCell<Option<ActiveFault>> = const { RefCell::new(None) };
 }
 
@@ -138,6 +140,8 @@ fn trigger(kind: FaultKind, site: &str) -> io::Result<()> {
 /// Returns an injected [`io::Error`] only when an `io-fail` fault armed
 /// for `site` reaches its trigger ordinal.
 pub fn io_point(site: &str) -> io::Result<()> {
+    // lint:allow(atomics) — monotonic telemetry counter; readers only
+    // ever see it after the writer process exits or between sweeps.
     TOTAL_POINTS.fetch_add(1, Ordering::Relaxed);
     let local_kind = LOCAL.with(|slot| {
         let mut slot = slot.borrow_mut();
@@ -153,6 +157,9 @@ pub fn io_point(site: &str) -> io::Result<()> {
     }
     if let Some(spec) = env_spec() {
         if spec.site == site {
+            // lint:allow(atomics) — hit ordinal for the env-armed
+            // fault; the count is per-site and any interleaving of
+            // concurrent hits is an acceptable trigger order.
             let n = ENV_HITS.fetch_add(1, Ordering::Relaxed) + 1;
             if n == spec.at {
                 return trigger(spec.kind, site);
@@ -178,6 +185,8 @@ pub fn epoch_point(epoch: usize) {
 /// Total I/O points the process has passed through (all sites). The crash
 /// harness prints this so the CI sweep can enumerate every kill position.
 pub fn io_points_seen() -> usize {
+    // lint:allow(atomics) — read after the workload of interest has
+    // joined; a stale value mid-run is harmless telemetry.
     TOTAL_POINTS.load(Ordering::Relaxed)
 }
 

@@ -72,6 +72,7 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// Default and env-overridable batch-size knob (`GANDEF_SERVE_BATCH`).
 fn default_max_batch() -> usize {
+    /// Parsed `GANDEF_SERVE_BATCH` value, read once per process.
     static CACHE: OnceLock<usize> = OnceLock::new();
     *CACHE.get_or_init(|| {
         std::env::var("GANDEF_SERVE_BATCH")
@@ -85,6 +86,7 @@ fn default_max_batch() -> usize {
 /// Default and env-overridable wait-deadline knob (`GANDEF_SERVE_WAIT_US`,
 /// microseconds).
 fn default_max_wait() -> Duration {
+    /// Parsed `GANDEF_SERVE_WAIT_US` value, read once per process.
     static CACHE: OnceLock<u64> = OnceLock::new();
     let us = *CACHE.get_or_init(|| {
         std::env::var("GANDEF_SERVE_WAIT_US")
@@ -359,6 +361,8 @@ impl Server {
                 enqueued: Instant::now(),
             });
         }
+        // lint:allow(atomics) — monotonic stats counter; stats() readers
+        // tolerate a snapshot that misses in-flight increments.
         self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
         self.shared.cv.notify_all();
         Ok(Pending { rx })
@@ -371,6 +375,9 @@ impl Server {
 
     /// Snapshot of the server's counters.
     pub fn stats(&self) -> ServeStats {
+        // lint:allow(atomics) — counters are independent monotonic
+        // telemetry; the snapshot may be skewed across fields and only
+        // becomes exact after shutdown() joins the service threads.
         ServeStats {
             requests: self.shared.stats.requests.load(Ordering::Relaxed),
             batches: self.shared.stats.batches.load(Ordering::Relaxed),
@@ -388,6 +395,9 @@ impl Server {
     }
 
     fn stop(&mut self) {
+        // lint:allow(atomics) — shutdown flag; the queue-mutex write plus
+        // condvar notify below publish it, the flag itself only needs to
+        // become visible eventually to the pollers.
         self.shared.stopping.store(true, Ordering::Relaxed);
         lock(&self.shared.queue).shutdown = true;
         self.shared.cv.notify_all();
@@ -452,6 +462,7 @@ fn batcher_loop(shared: &Shared) {
             Some(mode) => with_accum(mode, || shared.model.infer(&params, joined)),
             None => shared.model.infer(&params, joined),
         };
+        // lint:allow(atomics) — monotonic stats counter, see stats().
         shared.stats.batches.fetch_add(1, Ordering::Relaxed);
         for (i, req) in batch.iter().enumerate() {
             // A client that gave up and dropped its Pending is fine.
@@ -479,11 +490,14 @@ fn file_key(path: &PathBuf) -> Option<(u64, Option<std::time::SystemTime>)> {
 /// Polls the watched checkpoint and swaps verified, compatible weights in.
 fn watcher_loop(shared: &Shared, path: &PathBuf) {
     let mut last_key = file_key(path);
+    // lint:allow(atomics) — shutdown poll; a stale read only delays exit
+    // by one ≤ 20 ms sleep slice.
     while !shared.stopping.load(Ordering::Relaxed) {
         // Sleep in short slices so shutdown is prompt even with a long
         // poll interval.
         let mut slept = Duration::ZERO;
         while slept < shared.cfg.reload_poll {
+            // lint:allow(atomics) — same shutdown poll as above.
             if shared.stopping.load(Ordering::Relaxed) {
                 return;
             }
@@ -503,8 +517,12 @@ fn watcher_loop(shared: &Shared, path: &PathBuf) {
                 let current = lock(&shared.snapshot).clone();
                 if compatible(&current, &loaded) {
                     *lock(&shared.snapshot) = Arc::new(loaded);
+                    // lint:allow(atomics) — monotonic stats counter,
+                    // see stats().
                     shared.stats.reloads.fetch_add(1, Ordering::Relaxed);
                 } else {
+                    // lint:allow(atomics) — monotonic stats counter,
+                    // see stats().
                     shared
                         .stats
                         .rejected_reloads
@@ -516,6 +534,8 @@ fn watcher_loop(shared: &Shared, path: &PathBuf) {
                 }
             }
             Ok(_) => {
+                // lint:allow(atomics) — monotonic stats counter,
+                // see stats().
                 shared
                     .stats
                     .rejected_reloads
@@ -526,6 +546,8 @@ fn watcher_loop(shared: &Shared, path: &PathBuf) {
                 );
             }
             Err(e) => {
+                // lint:allow(atomics) — monotonic stats counter,
+                // see stats().
                 shared
                     .stats
                     .rejected_reloads

@@ -58,6 +58,8 @@ fn decode(raw: u8) -> Accum {
 }
 
 fn global_accum() -> Accum {
+    // lint:allow(atomics) — idempotent once-cache: every writer stores
+    // the same env-derived value, so readers seeing 0 just recompute it.
     let raw = GLOBAL_ACCUM.load(Ordering::Relaxed);
     if raw != 0 {
         return decode(raw);
@@ -69,6 +71,7 @@ fn global_accum() -> Accum {
         Ok(v) if v.eq_ignore_ascii_case("f64") => Accum::F64,
         _ => Accum::F32,
     };
+    // lint:allow(atomics) — same idempotent once-cache write as above.
     GLOBAL_ACCUM.store(encode(from_env), Ordering::Relaxed);
     from_env
 }
@@ -86,6 +89,8 @@ pub fn accum() -> Accum {
 
 /// Sets the process-global accumulation mode, overriding `GANDEF_ACCUM`.
 pub fn set_accum(mode: Accum) {
+    // lint:allow(atomics) — callers that need the new mode visible to
+    // worker threads already synchronize via the pool's job hand-off.
     GLOBAL_ACCUM.store(encode(mode), Ordering::Relaxed);
 }
 

@@ -95,6 +95,8 @@ fn decode_impl(raw: u8) -> ConvImpl {
 }
 
 fn global_conv_impl() -> ConvImpl {
+    // lint:allow(atomics) — idempotent once-cache: every writer stores
+    // the same env-derived value, so readers seeing 0 just recompute it.
     let raw = GLOBAL_CONV.load(Ordering::Relaxed);
     if raw != 0 {
         return decode_impl(raw);
@@ -106,6 +108,7 @@ fn global_conv_impl() -> ConvImpl {
         Ok(v) if v.eq_ignore_ascii_case("im2col") => ConvImpl::Im2col,
         _ => ConvImpl::Fused,
     };
+    // lint:allow(atomics) — same idempotent once-cache write as above.
     GLOBAL_CONV.store(encode_impl(from_env), Ordering::Relaxed);
     from_env
 }
@@ -124,6 +127,8 @@ pub fn conv_impl() -> ConvImpl {
 
 /// Sets the process-global convolution lowering, overriding `GANDEF_CONV`.
 pub fn set_conv_impl(mode: ConvImpl) {
+    // lint:allow(atomics) — callers that need the new lowering visible to
+    // worker threads already synchronize via the pool's job hand-off.
     GLOBAL_CONV.store(encode_impl(mode), Ordering::Relaxed);
 }
 

@@ -437,12 +437,16 @@ fn microkernel(
 #[cfg(target_arch = "x86_64")]
 fn fma_available() -> bool {
     use std::sync::atomic::{AtomicU8, Ordering};
+    /// Memoized CPU-feature probe: 0 unknown, 1 no-FMA, 2 FMA.
     static STATE: AtomicU8 = AtomicU8::new(0);
+    // lint:allow(atomics) — idempotent once-cache: the probe result is a
+    // pure function of the CPU and env, so racing writers agree.
     match STATE.load(Ordering::Relaxed) {
         0 => {
             let yes = std::env::var_os("GANDEF_NO_FMA").is_none()
                 && std::is_x86_feature_detected!("avx2")
                 && std::is_x86_feature_detected!("fma");
+            // lint:allow(atomics) — same idempotent cache write.
             STATE.store(if yes { 2 } else { 1 }, Ordering::Relaxed);
             yes
         }

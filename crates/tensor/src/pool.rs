@@ -71,6 +71,8 @@ static THREADS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
 /// Total parallel jobs completed by the pool.
 static JOBS_COMPLETED: AtomicU64 = AtomicU64::new(0);
 
+/// The process-global worker pool, built once on first parallel call
+/// (`None` when the target is a single thread, so dispatch runs inline).
 static POOL: OnceLock<Option<Pool>> = OnceLock::new();
 
 thread_local! {
@@ -148,6 +150,9 @@ pub struct PoolStats {
 /// call, so configuration after warm-up is a no-op.
 pub fn configure_threads(threads: usize) -> usize {
     if POOL.get().is_none() {
+        // lint:allow(atomics) — pre-init hint; the pool's OnceLock
+        // construction is the synchronization point that consumes it, and
+        // a racing configure/first-use was already nondeterministic.
         DESIRED_THREADS.store(threads, Ordering::Relaxed);
     }
     target_threads()
@@ -158,6 +163,7 @@ fn target_threads() -> usize {
     if let Some(pool) = POOL.get() {
         return pool.as_ref().map_or(1, |p| p.threads);
     }
+    // lint:allow(atomics) — pre-init hint, see configure_threads().
     let desired = DESIRED_THREADS.load(Ordering::Relaxed);
     if desired > 0 {
         return desired;
@@ -174,6 +180,9 @@ fn target_threads() -> usize {
 
 /// Current pool counters.
 pub fn stats() -> PoolStats {
+    // lint:allow(atomics) — monotonic telemetry counters; a snapshot
+    // skewed across fields is acceptable to every caller (tests quiesce
+    // the pool before asserting on them).
     PoolStats {
         threads: target_threads(),
         threads_spawned: THREADS_SPAWNED.load(Ordering::Relaxed),
@@ -216,6 +225,8 @@ fn global_pool() -> Option<&'static Pool> {
                 // lint:allow(panic) — spawn failure at pool construction is
                 // unrecoverable resource exhaustion; no fallback exists.
                 .expect("failed to spawn pool worker");
+            // lint:allow(atomics) — monotonic telemetry counter, see
+            // stats().
             THREADS_SPAWNED.fetch_add(1, Ordering::Relaxed);
         }
         Some(Pool { shared, threads })
@@ -247,6 +258,9 @@ fn worker_loop(shared: &Shared) {
 /// the completion latch when the last chunk retires.
 fn execute(core: &JobCore) {
     loop {
+        // lint:allow(atomics) — chunk-claim ticket: each claimant only
+        // needs a unique index; chunk data was published to workers by the
+        // slot-mutex hand-off, not by this counter.
         let i = core.next.fetch_add(1, Ordering::Relaxed);
         if i >= core.chunks {
             return;
@@ -255,8 +269,15 @@ fn execute(core: &JobCore) {
         // pointee outlives every dereference.
         let func = unsafe { &*core.func };
         if catch_unwind(AssertUnwindSafe(|| func(i))).is_err() {
+            // lint:allow(atomics) — one-way poison flag; the submitter
+            // reads it only after the completion latch (an AcqRel edge plus
+            // the done-mutex) has ordered every chunk before the read.
             core.panicked.store(true, Ordering::Relaxed);
         }
+        // pairs with the submitter's `wait` on `done`/`done_cv` in
+        // Pool::run: the AcqRel decrement makes every finished chunk's
+        // writes visible to the thread that flips `done` under the mutex,
+        // and the mutex hand-off publishes them to the submitter.
         if core.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             let mut done = lock(&core.done);
             *done = true;
@@ -313,7 +334,11 @@ impl Pool {
             slot.job = None;
             self.shared.idle_cv.notify_one();
         }
+        // lint:allow(atomics) — monotonic telemetry counter, see stats().
         JOBS_COMPLETED.fetch_add(1, Ordering::Relaxed);
+        // lint:allow(atomics) — read after the completion latch: the
+        // AcqRel decrement in execute() plus the done-mutex hand-off order
+        // every worker's store before this load.
         assert!(
             !core.panicked.load(Ordering::Relaxed),
             "pool worker panicked"
@@ -367,11 +392,11 @@ impl<T> Clone for SendPtr<T> {
     }
 }
 impl<T> Copy for SendPtr<T> {}
-// SAFETY: each task only touches its own disjoint region (enforced by the
-// callers below).
+// SAFETY: `SendPtr` carries a raw pointer across threads, but each task
+// only touches its own disjoint region (enforced by the callers below).
 unsafe impl<T> Send for SendPtr<T> {}
-// SAFETY: same disjointness argument as `Send` — concurrent shared access
-// never aliases a region another task writes.
+// SAFETY: same disjointness argument as `Send` — a shared `SendPtr` never
+// aliases a region another task writes.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 /// Splits `data` — logically a sequence of rows of `unit` elements — into

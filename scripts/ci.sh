@@ -6,8 +6,9 @@
 # Steps: format check, release build, full test suite, the gandef-lint
 # static-analysis gate (zero violations in the workspace, a self-test
 # proving the lint still detects every rule on the seeded fixtures, and
-# a drift check of the panic-reachability report docs/PANICS.md — see
-# the regeneration note at that stage), a smoke run of the kernel
+# drift checks of the panic-reachability report docs/PANICS.md and the
+# concurrency inventory docs/CONCURRENCY.md — see the regeneration notes
+# at those stages), a smoke run of the kernel
 # micro-benchmarks gated against the
 # checked-in BENCH_tensor.json (bench_diff; writes BENCH_smoke.json to a
 # temp dir so the checked-in file is never clobbered), the serving
@@ -19,8 +20,9 @@
 # killed at every checkpoint-write injection point and the on-disk state
 # must verify as old-or-new, never corrupt, plus a cross-process
 # kill-and-resume run that must be bit-identical to a straight run under
-# f64 accumulation), and — when a nightly toolchain with Miri is
-# already installed — a Miri pass over the tensor crate's unsafe surface.
+# f64 accumulation), and — when a nightly toolchain is already
+# installed — a Miri pass over the tensor crate's unsafe surface plus
+# Thread/AddressSanitizer runs of the concurrency stress harness.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,18 +48,21 @@ echo "==> gandef-lint (workspace must be clean)"
 
 echo "==> gandef-lint self-test (seeded fixtures must trip every rule)"
 # The fixtures hold exactly one violation per rule (token rules in
-# seeded.rs, parse-tree rules in seeded_semantic.rs); the lint must exit
-# nonzero and report each rule by name, or the gate above is meaningless.
+# seeded.rs, parse-tree rules in seeded_semantic.rs, concurrency rules in
+# seeded_concurrency.rs); the lint must exit nonzero and report each rule
+# by name, or the gate above is meaningless.
 fixture_out="$(mktemp)"
 if ./target/release/gandef-lint \
     crates/lint/fixtures/seeded.rs \
-    crates/lint/fixtures/seeded_semantic.rs >"$fixture_out" 2>&1; then
+    crates/lint/fixtures/seeded_semantic.rs \
+    crates/lint/fixtures/seeded_concurrency.rs >"$fixture_out" 2>&1; then
     echo "FAIL: gandef-lint exited 0 on the seeded fixtures"
     cat "$fixture_out"
     rm -f "$fixture_out"
     exit 1
 fi
-for rule in safety panic bounds knob spawn alloc cast grad shape; do
+for rule in safety panic bounds knob spawn alloc cast grad shape \
+    shared lockorder atomics sync; do
     if ! grep -q "\[$rule\]" "$fixture_out"; then
         echo "FAIL: gandef-lint did not detect seeded rule [$rule]"
         cat "$fixture_out"
@@ -66,7 +71,7 @@ for rule in safety panic bounds knob spawn alloc cast grad shape; do
     fi
 done
 rm -f "$fixture_out"
-echo "self-test OK: all 9 rules detected"
+echo "self-test OK: all 13 rules detected"
 
 echo "==> gandef-lint --panics (docs/PANICS.md must be current)"
 # docs/PANICS.md is the checked-in panic-reachability report for the
@@ -84,6 +89,25 @@ if ! diff -u docs/PANICS.md "$fresh_panics"; then
 fi
 rm -f "$fresh_panics"
 echo "panic report OK: docs/PANICS.md matches a fresh run"
+
+echo "==> gandef-lint --concurrency (docs/CONCURRENCY.md must be current)"
+# docs/CONCURRENCY.md is the checked-in shared-state inventory: every
+# static, lock, atomic-ordering choice and unsafe Send/Sync impl in the
+# workspace, with its justification, plus the lock-acquisition-order
+# graph. A diff here means the concurrent surface moved: review the
+# fresh report, then regenerate the checked-in copy with
+#   ./target/release/gandef-lint --concurrency docs/CONCURRENCY.md
+# and commit it alongside the change that moved the surface.
+fresh_conc="$(mktemp)"
+./target/release/gandef-lint --concurrency "$fresh_conc" >/dev/null
+if ! diff -u docs/CONCURRENCY.md "$fresh_conc"; then
+    echo "FAIL: docs/CONCURRENCY.md is stale — the concurrent surface moved."
+    echo "Regenerate with: ./target/release/gandef-lint --concurrency docs/CONCURRENCY.md"
+    rm -f "$fresh_conc"
+    exit 1
+fi
+rm -f "$fresh_conc"
+echo "concurrency inventory OK: docs/CONCURRENCY.md matches a fresh run"
 
 echo "==> bench_kernels --smoke + bench_diff"
 out="$(mktemp -d)"
@@ -211,6 +235,39 @@ if cargo +nightly miri --version >/dev/null 2>&1; then
     MIRIFLAGS="-Zmiri-ignore-leaks" cargo +nightly miri test -p gandef-tensor --lib
 else
     echo "==> miri unavailable (no nightly toolchain) — skipping"
+fi
+
+# Optional sanitizer passes: run the concurrency stress harness under
+# ThreadSanitizer and AddressSanitizer when a nightly toolchain with the
+# rust-src component is already installed (-Zsanitizer requires
+# rebuilding std via -Zbuild-std). Best-effort like the Miri stage: the
+# offline policy forbids installing toolchains, so skip cleanly when
+# unavailable.
+san_ready=false
+if rustc +nightly --version >/dev/null 2>&1; then
+    sysroot="$(rustc +nightly --print sysroot)"
+    if [ -d "$sysroot/lib/rustlib/src/rust/library" ]; then
+        san_ready=true
+    fi
+fi
+if [ "$san_ready" = true ]; then
+    host="$(rustc -vV | sed -n 's/^host: //p')"
+    for san in thread address; do
+        echo "==> ${san}-sanitizer (stress_harness --smoke)"
+        if ! RUSTFLAGS="-Zsanitizer=$san" cargo +nightly build --release \
+            -p gandef-bench --bin stress_harness \
+            -Zbuild-std --target "$host" --target-dir "$out/san-$san"; then
+            echo "==> ${san}-sanitizer build failed (offline -Zbuild-std?) — skipping"
+            continue
+        fi
+        # The pool's workers are detached by design; leak checking would
+        # only report that shutdown order, not a bug.
+        ASAN_OPTIONS=detect_leaks=0 \
+            "$out/san-$san/$host/release/stress_harness" --smoke
+        echo "${san}-sanitizer OK"
+    done
+else
+    echo "==> sanitizers unavailable (no nightly rust-src) — skipping"
 fi
 
 echo "CI OK"

@@ -208,3 +208,90 @@ fn shutdown_drains_the_queue() {
         assert!(y.as_slice().iter().all(|v| v.is_finite()));
     }
 }
+
+/// Contract 4: hot-reload under contention is still atomic *per batch*.
+///
+/// Weights-fingerprint construction: a single Dense layer with all-zero
+/// weights and bias = `version` makes every output row exactly
+/// `[version; OUT]` bit-for-bit (the zero matmul contributes exactly
+/// 0.0), so each response fingerprints the snapshot that produced it. A
+/// writer thread rewrites the checkpoint with increasing versions while
+/// client threads hammer `classify`; a response mixing old and new
+/// weights would show a non-constant row or a version never written.
+#[test]
+fn reload_under_contention_never_mixes_snapshots() {
+    const CLIENTS: usize = 4;
+    const REQS_PER_CLIENT: usize = 60;
+    const VERSIONS: usize = 20;
+
+    fn fingerprint_params(version: f32) -> Params {
+        let mut p = Params::default();
+        p.insert("fp.w", Tensor::zeros(&[IN, OUT]));
+        p.insert("fp.b", Tensor::full(&[OUT], version));
+        p
+    }
+    let fp_model = || {
+        Sequential::new(vec![
+            Box::new(Dense::new("fp", IN, OUT, None)) as Box<dyn Layer>
+        ])
+    };
+
+    let dir = temp_dir("contend");
+    let ckpt = dir.join("weights.gndf");
+    save_params(&fingerprint_params(1.0), &ckpt).unwrap();
+
+    let cfg = ServeConfig::default()
+        .max_batch(CLIENTS)
+        .max_wait(Duration::from_micros(200))
+        .accum(Accum::F64)
+        .reload_poll(Duration::from_millis(1));
+    let server = Server::with_hot_reload(
+        fp_model(),
+        fingerprint_params(1.0),
+        vec![IN],
+        cfg,
+        ckpt.clone(),
+    );
+
+    let xs = examples(CLIENTS, 41);
+    std::thread::scope(|scope| {
+        // Writer: march the checkpoint through versions 2..=VERSIONS+1
+        // while clients are mid-stream.
+        // lint:allow(spawn) — test needs real blocking threads (clients
+        // park in Pending::wait); the compute pool would deadlock.
+        scope.spawn(|| {
+            for v in 0..VERSIONS {
+                save_params(&fingerprint_params((v + 2) as f32), &ckpt).unwrap();
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+        for x in &xs {
+            let server = &server;
+            // lint:allow(spawn) — same blocking-client argument as above.
+            scope.spawn(move || {
+                for _ in 0..REQS_PER_CLIENT {
+                    let y = server.classify(x.clone()).unwrap();
+                    let row = y.as_slice();
+                    let v = row[0];
+                    assert!(
+                        row.iter().all(|&e| e == v),
+                        "mixed-snapshot batch: output row {row:?} is not constant — \
+                         rows were produced from more than one weights version"
+                    );
+                    assert!(
+                        (1.0..=(VERSIONS + 1) as f32).contains(&v) && v.fract() == 0.0,
+                        "output fingerprints version {v}, which was never written"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, (CLIENTS * REQS_PER_CLIENT) as u64);
+    assert!(
+        stats.reloads >= 1,
+        "contention run never actually reloaded: {stats:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
