@@ -314,7 +314,9 @@ impl Tape {
         let n = logits.dim(0) as f32;
         let log_probs = logits.log_softmax_rows();
         let value = match accum() {
-            Accum::F32 => Tensor::scalar(-log_probs.mul(targets).sum() / n),
+            // The Kahan arm shares the F32 expression: the `.sum()` inside
+            // it samples the mode again and runs its compensated chain.
+            Accum::F32 | Accum::Kahan => Tensor::scalar(-log_probs.mul(targets).sum() / n),
             Accum::F64 => Tensor::scalar(softmax_cross_entropy_f64(&logits, targets)),
         };
         let softmax = log_probs.exp();
@@ -424,6 +426,9 @@ impl Tape {
     /// Panics unless `0 ≤ p < 1`.
     pub fn dropout(&mut self, x: VarId, p: f32, rng: &mut Prng) -> VarId {
         assert!((0.0..1.0).contains(&p), "dropout rate must be in [0, 1)");
+        // lint:allow(floatcmp) — p is a caller-passed constant tested
+        // against the exact sentinel 0.0 (never a computed value); the
+        // identity fast path must trigger only on the literal zero.
         if p == 0.0 {
             // Identity; still record a node for uniform graph shape.
             let value = self.value(x).clone();

@@ -193,6 +193,17 @@ fn main() {
         samples,
         || x.sum(),
     ));
+    // The compensated tier (GANDEF_ACCUM=kahan): f32 partials plus a
+    // Neumaier correction term per window. Pinned in BENCH_tensor.json so
+    // the cost of the middle accuracy tier stays visible PR over PR.
+    results.push(microbench::run(
+        "sum_kahan",
+        &format!("{big}"),
+        big as u64,
+        warmup,
+        samples,
+        || with_accum(Accum::Kahan, || x.sum()),
+    ));
     // `sum` always accumulates in f64 over fixed windows (lane-parallel
     // by default, strictly sequential under GANDEF_ACCUM=f64); the axis
     // reduction has a genuine fast/oracle split — record both paths.

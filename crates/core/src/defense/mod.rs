@@ -166,6 +166,8 @@ impl TrainReport {
 
 /// Measures one epoch: runs `body`, returns `(seconds, mean loss)`.
 pub(crate) fn timed_epoch(body: impl FnOnce() -> f32) -> (f64, f32) {
+    // lint:allow(nondet) — telemetry duration: the reading is reported
+    // to the caller's log line and never feeds a trained value.
     let start = Instant::now();
     let loss = body();
     (start.elapsed().as_secs_f64(), loss)

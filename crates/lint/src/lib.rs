@@ -5,8 +5,9 @@
 //! third-party lint frameworks as enforcement mechanisms for our own
 //! invariants. This crate is the in-repo replacement: a small hand-rolled
 //! Rust tokenizer ([`lexer`]), a structural item/call parser ([`parser`])
-//! and thirteen named rules ([`rules`]) that encode the repo's
-//! unsafe-surface, robustness, hot-path and concurrency policy:
+//! and seventeen named rules ([`rules`]) that encode the repo's
+//! unsafe-surface, robustness, hot-path, concurrency and determinism
+//! policy:
 //!
 //! 1. **safety** — every `unsafe` site carries a `// SAFETY:` comment;
 //! 2. **panic** — no `unwrap()/expect(/panic!` in library code;
@@ -21,13 +22,21 @@
 //! 11. **lockorder** — the lock-acquisition-order graph stays acyclic;
 //! 12. **atomics** — `Relaxed` is annotated, `Acquire`/`Release` name
 //!     their partner site;
-//! 13. **sync** — `unsafe impl Send/Sync` cites the fields it covers.
+//! 13. **sync** — `unsafe impl Send/Sync` cites the fields it covers;
+//! 14. **reduce** — no scheduling-ordered float accumulation in closures
+//!     handed to the worker pool;
+//! 15. **nondet** — no nondeterminism sources (map iteration, wall
+//!     clock, non-`Prng` RNG) in numeric paths;
+//! 16. **errprop** — no silently dropped `Result` in library code;
+//! 17. **floatcmp** — no exact `==`/`!=` on float operands.
 //!
 //! On top of the same parser, [`callgraph`] computes **panic
 //! reachability** for the public API; `docs/PANICS.md` is the checked-in
 //! report and `scripts/ci.sh` fails on drift. The concurrency rules
 //! additionally feed a shared-state inventory + lock-order report,
-//! checked in as `docs/CONCURRENCY.md` under the same drift gate. Run as
+//! checked in as `docs/CONCURRENCY.md`, and the determinism rules feed a
+//! per-API determinism classification, checked in as
+//! `docs/DETERMINISM.md` — both under the same drift gate. Run as
 //! `gandef-lint` (no arguments) from the workspace root; see
 //! `docs/LINT.md` for the rule reference and `scripts/ci.sh` for the CI
 //! wiring, including the seeded-fixture self-test that proves the lint
@@ -346,6 +355,26 @@ pub fn concurrency_report(cfg: &Config) -> io::Result<String> {
     Ok(concurrency::render_report(&inputs))
 }
 
+/// Generates the determinism classification — every public fn of
+/// `gandef-tensor`/`gandef-nn`/`gandef-serve` tagged bit-exact /
+/// order-sensitive / nondeterministic (see [`rules::determinism`]) —
+/// over the workspace's library sources. Deterministic and intended to
+/// be written to `docs/DETERMINISM.md`.
+pub fn determinism_report(cfg: &Config) -> io::Result<String> {
+    let files = workspace_sources(&cfg.root)?;
+    let mut inputs = Vec::new();
+    for path in &files {
+        let display = display_path(path, &cfg.root);
+        if !is_lib_code(&display) {
+            continue; // bins/tests/examples are not public API surface
+        }
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+        inputs.push((display, src));
+    }
+    Ok(rules::determinism::render_report(&inputs))
+}
+
 /// True if `path` is library code for the `panic` rule: not under
 /// `tests/`, not a `src/bin/` binary, not an example.
 fn is_lib_code(display: &str) -> bool {
@@ -465,5 +494,43 @@ mod tests {
     fn bare_gandef_prefix_is_not_a_knob() {
         let reg = parse_registry("| `GANDEF_` | broken row |\n");
         assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes_per_rfc8259() {
+        // A Windows-style path and a message quoting source text are the
+        // realistic carriers of `\` and `"` into the JSON report.
+        let outcome = Outcome {
+            files_checked: 1,
+            violations: vec![rules::Violation {
+                file: r"crates\lint\src\lib.rs".to_string(),
+                line: 3,
+                col: 7,
+                rule: rules::Rule::Floatcmp,
+                message: "`==` on `\"x\"` operand\twith\ntab and newline".to_string(),
+            }],
+            parse_errors: vec![rules::ParseError {
+                file: r"bad\file.rs".to_string(),
+                line: 1,
+                col: 1,
+                message: "mismatched `\"` delimiter".to_string(),
+            }],
+            timings: vec![],
+        };
+        let json = render_json(&outcome);
+        assert!(
+            json.contains(r#""file": "crates\\lint\\src\\lib.rs""#),
+            "{json}"
+        );
+        assert!(
+            json.contains(r#"`==` on `\"x\"` operand\twith\ntab and newline"#),
+            "{json}"
+        );
+        assert!(json.contains(r#"mismatched `\"` delimiter"#), "{json}");
+        // Nothing raw survives: inside every string literal a `"` is
+        // always preceded by a backslash and real control chars are gone.
+        assert!(!json.contains('\t'), "raw tab leaked into JSON");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
     }
 }

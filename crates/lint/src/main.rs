@@ -5,18 +5,25 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: gandef-lint [--root DIR] [--knobs FILE] [--format text|json]\n\
-                    \x20                  [--timings] [--panics FILE] [--concurrency FILE]\n\
+                    \x20                  [--timings] [--budget FILE] [--panics FILE]\n\
+                    \x20                  [--concurrency FILE] [--determinism FILE]\n\
                     \x20                  [FILES...]\n\
   With no FILES, walks every `src/`, `tests/` and `examples/` tree of the\n\
   workspace under --root (default `.`).\n\
   --format json       machine-readable report on stdout (violations with\n\
                       file/line/col plus a parse_errors array)\n\
   --timings           per-file wall time on stderr, slowest first\n\
+  --budget FILE       read a baseline total wall time (milliseconds) from\n\
+                      FILE and fail (exit 1) if this run's total lint time\n\
+                      exceeds 3x the baseline — the CI perf regression gate\n\
   --panics FILE       write the panic-reachability report (docs/PANICS.md)\n\
                       to FILE instead of linting\n\
   --concurrency FILE  write the shared-state + lock-order report\n\
                       (docs/CONCURRENCY.md) to FILE instead of linting\n\
-  Exit codes: 0 clean, 1 rule violations, 2 parse or usage/I-O error.";
+  --determinism FILE  write the per-API determinism classification\n\
+                      (docs/DETERMINISM.md) to FILE instead of linting\n\
+  Exit codes: 0 clean, 1 rule violations or a blown budget, 2 parse or\n\
+  usage/I-O error.";
 
 enum Format {
     Text,
@@ -27,8 +34,10 @@ fn main() -> ExitCode {
     let mut cfg = gandef_lint::Config::workspace(".");
     let mut format = Format::Text;
     let mut timings = false;
+    let mut budget: Option<PathBuf> = None;
     let mut panics_out: Option<PathBuf> = None;
     let mut concurrency_out: Option<PathBuf> = None;
+    let mut determinism_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -51,6 +60,10 @@ fn main() -> ExitCode {
             "--format=text" => format = Format::Text,
             "--format=json" => format = Format::Json,
             "--timings" => timings = true,
+            "--budget" => match args.next() {
+                Some(file) => budget = Some(PathBuf::from(file)),
+                None => return usage_error("--budget requires a baseline file"),
+            },
             "--panics" => match args.next() {
                 Some(file) => panics_out = Some(PathBuf::from(file)),
                 None => return usage_error("--panics requires an output file"),
@@ -58,6 +71,10 @@ fn main() -> ExitCode {
             "--concurrency" => match args.next() {
                 Some(file) => concurrency_out = Some(PathBuf::from(file)),
                 None => return usage_error("--concurrency requires an output file"),
+            },
+            "--determinism" => match args.next() {
+                Some(file) => determinism_out = Some(PathBuf::from(file)),
+                None => return usage_error("--determinism requires an output file"),
             },
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -110,17 +127,64 @@ fn main() -> ExitCode {
         };
     }
 
+    if let Some(path) = determinism_out {
+        return match gandef_lint::determinism_report(&cfg)
+            .and_then(|report| std::fs::write(&path, report.as_bytes()).map(|()| report))
+        {
+            Ok(report) => {
+                let rows = report.lines().filter(|l| l.starts_with("| `")).count();
+                println!(
+                    "gandef-lint: wrote {} ({} classified public fn(s))",
+                    path.display(),
+                    rows
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("gandef-lint: error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    // The budget gate needs the baseline before linting, so a missing
+    // baseline file is a usage error, not a silently passed gate.
+    let baseline_ms = match &budget {
+        None => None,
+        Some(path) => match read_budget(path) {
+            Ok(ms) => Some(ms),
+            Err(msg) => return usage_error(&msg),
+        },
+    };
+
     match gandef_lint::run(&cfg) {
         Ok(outcome) => {
+            let total_ms: f64 = outcome.timings.iter().map(|(_, ms)| ms).sum();
             if timings {
                 let mut by_cost = outcome.timings.clone();
                 by_cost.sort_by(|a, b| b.1.total_cmp(&a.1));
-                let total: f64 = by_cost.iter().map(|(_, ms)| ms).sum();
                 for (file, ms) in &by_cost {
                     eprintln!("{ms:9.3} ms  {file}");
                 }
-                eprintln!("{total:9.3} ms  total ({} files)", by_cost.len());
+                eprintln!("{total_ms:9.3} ms  total ({} files)", by_cost.len());
             }
+            let blown = baseline_ms.is_some_and(|base| {
+                let limit = base * 3.0;
+                let over = total_ms > limit;
+                if over {
+                    eprintln!(
+                        "gandef-lint: BUDGET EXCEEDED — total lint time {total_ms:.1} ms \
+                         > 3x baseline {base:.1} ms ({limit:.1} ms); investigate the \
+                         regression or re-baseline the budget file"
+                    );
+                } else {
+                    eprintln!(
+                        "gandef-lint: budget OK — total {total_ms:.1} ms within 3x \
+                         baseline {base:.1} ms"
+                    );
+                }
+                over
+            });
             let clean = outcome.violations.is_empty() && outcome.parse_errors.is_empty();
             match format {
                 Format::Json => print!("{}", gandef_lint::render_json(&outcome)),
@@ -147,7 +211,7 @@ fn main() -> ExitCode {
             // means every rule verdict for it is suspect.
             if !outcome.parse_errors.is_empty() {
                 ExitCode::from(2)
-            } else if outcome.violations.is_empty() {
+            } else if outcome.violations.is_empty() && !blown {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE
@@ -158,6 +222,25 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// Parses the budget baseline: first non-comment line holds the total
+/// lint wall time in milliseconds (fractions allowed).
+fn read_budget(path: &std::path::Path) -> Result<f64, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("--budget {}: {e}", path.display()))?;
+    text.lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .and_then(|l| l.parse::<f64>().ok())
+        .filter(|ms| ms.is_finite() && *ms > 0.0)
+        .ok_or_else(|| {
+            format!(
+                "--budget {}: expected a positive milliseconds number on the \
+                 first non-comment line",
+                path.display()
+            )
+        })
 }
 
 fn usage_error(msg: &str) -> ExitCode {

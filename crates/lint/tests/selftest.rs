@@ -5,7 +5,7 @@
 //! dedicated lint stage.
 
 use gandef_lint::rules::Rule;
-use gandef_lint::{concurrency_report, panic_report, render_json, run, Config};
+use gandef_lint::{concurrency_report, determinism_report, panic_report, render_json, run, Config};
 use std::path::{Path, PathBuf};
 
 fn workspace_root() -> PathBuf {
@@ -23,6 +23,7 @@ fn seeded_fixtures_trip_every_rule_exactly_once() {
         root.join("crates/lint/fixtures/seeded.rs"),
         root.join("crates/lint/fixtures/seeded_semantic.rs"),
         root.join("crates/lint/fixtures/seeded_concurrency.rs"),
+        root.join("crates/lint/fixtures/seeded_determinism.rs"),
     ];
     let outcome = run(&cfg).expect("lint run");
     for rule in Rule::ALL {
@@ -96,6 +97,7 @@ fn json_format_names_all_fixture_rules() {
         root.join("crates/lint/fixtures/seeded.rs"),
         root.join("crates/lint/fixtures/seeded_semantic.rs"),
         root.join("crates/lint/fixtures/seeded_concurrency.rs"),
+        root.join("crates/lint/fixtures/seeded_determinism.rs"),
     ];
     let outcome = run(&cfg).expect("lint run");
     let json = render_json(&outcome);
@@ -106,7 +108,7 @@ fn json_format_names_all_fixture_rules() {
             rule.name()
         );
     }
-    assert!(json.contains("\"files_checked\": 3"), "{json}");
+    assert!(json.contains("\"files_checked\": 4"), "{json}");
     assert!(json.contains("allow_hint"), "{json}");
     // Columns ride along in both formats; parse_errors is always present.
     assert!(json.contains("\"col\": "), "{json}");
@@ -127,6 +129,65 @@ fn concurrency_report_is_in_sync() {
          lock usage changed. Review the inventory, then regenerate with \
          `./target/release/gandef-lint --concurrency docs/CONCURRENCY.md`"
     );
+}
+
+#[test]
+fn determinism_report_is_in_sync() {
+    let root = workspace_root();
+    let fresh = determinism_report(&Config::workspace(&root)).expect("determinism report");
+    let checked_in = std::fs::read_to_string(root.join("docs/DETERMINISM.md")).expect(
+        "docs/DETERMINISM.md — regenerate with `gandef-lint --determinism docs/DETERMINISM.md`",
+    );
+    assert_eq!(
+        fresh.trim(),
+        checked_in.trim(),
+        "docs/DETERMINISM.md is stale: a public API's determinism class changed \
+         (new nondeterminism source, new order-sensitive accumulation, or a path \
+         was made bit-exact). Review the classification, then regenerate with \
+         `./target/release/gandef-lint --determinism docs/DETERMINISM.md`"
+    );
+}
+
+#[test]
+fn json_escaping_is_rfc8259_clean() {
+    // Satellite check: quotes and backslashes in paths or messages must
+    // round-trip through the JSON renderer escaped, never raw. Windows-y
+    // paths are the realistic source of backslashes.
+    let root = workspace_root();
+    let mut cfg = Config::workspace(&root);
+    cfg.files = vec![root.join("crates/lint/fixtures/seeded.rs")];
+    let outcome = run(&cfg).expect("lint run");
+    let json = render_json(&outcome);
+    // No raw control characters may survive escaping.
+    assert!(
+        !json.chars().any(|c| (c as u32) < 0x20 && c != '\n'),
+        "raw control character in JSON output"
+    );
+    // The knob message quotes the env var name with backticks, not
+    // quotes — but rule messages that do embed `"` (e.g. quoting source
+    // text) must come out as \". Prove the escaper itself is correct by
+    // checking every emitted string field parses: each `"`-delimited
+    // token must end on an unescaped quote.
+    let mut chars = json.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    let e = chars.next().expect("dangling backslash in JSON");
+                    assert!(
+                        matches!(e, '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' | 'u'),
+                        "invalid JSON escape \\{e}"
+                    );
+                }
+                '"' => in_str = false,
+                _ => assert!((c as u32) >= 0x20, "unescaped control char in string"),
+            }
+        } else if c == '"' {
+            in_str = true;
+        }
+    }
+    assert!(!in_str, "unterminated string in JSON output");
 }
 
 #[test]

@@ -264,6 +264,9 @@ pub fn atomic_write(path: &Path, site: &str, bytes: &[u8]) -> std::io::Result<()
         // durable), so this is best-effort.
         if let Some(d) = dir {
             if let Ok(dirf) = fs::File::open(d) {
+                // lint:allow(errprop) — see above: the rename is already
+                // atomic; directory durability is best-effort and a
+                // failed dir-fsync must not fail the completed write.
                 let _ = dirf.sync_all();
             }
         }
@@ -271,6 +274,9 @@ pub fn atomic_write(path: &Path, site: &str, bytes: &[u8]) -> std::io::Result<()
     })();
 
     if result.is_err() {
+        // lint:allow(errprop) — cleanup on the error path: the write
+        // error in `result` is what propagates; a leftover tmp file is
+        // overwritten by the next attempt.
         let _ = fs::remove_file(&tmp);
     }
     result

@@ -209,6 +209,9 @@ pub struct ServeStats {
     /// Checkpoint files that changed but were rejected (failed CRC /
     /// unreadable / incompatible names or shapes).
     pub rejected_reloads: u64,
+    /// Replies that found no receiver because the client dropped its
+    /// [`Pending`] before the batch completed.
+    pub dropped_replies: u64,
 }
 
 #[derive(Default)]
@@ -217,6 +220,7 @@ struct StatsInner {
     batches: AtomicU64,
     reloads: AtomicU64,
     rejected_reloads: AtomicU64,
+    dropped_replies: AtomicU64,
 }
 
 struct Request {
@@ -383,6 +387,7 @@ impl Server {
             batches: self.shared.stats.batches.load(Ordering::Relaxed),
             reloads: self.shared.stats.reloads.load(Ordering::Relaxed),
             rejected_reloads: self.shared.stats.rejected_reloads.load(Ordering::Relaxed),
+            dropped_replies: self.shared.stats.dropped_replies.load(Ordering::Relaxed),
         }
     }
 
@@ -402,9 +407,14 @@ impl Server {
         lock(&self.shared.queue).shutdown = true;
         self.shared.cv.notify_all();
         if let Some(h) = self.batcher.take() {
+            // lint:allow(errprop) — join's Err is the service thread's
+            // panic payload; we are already stopping, and the panic has
+            // been reported on stderr by the default hook.
             let _ = h.join();
         }
         if let Some(h) = self.watcher.take() {
+            // lint:allow(errprop) — same as above: panic payload of a
+            // thread that is shutting down either way.
             let _ = h.join();
         }
     }
@@ -465,8 +475,12 @@ fn batcher_loop(shared: &Shared) {
         // lint:allow(atomics) — monotonic stats counter, see stats().
         shared.stats.batches.fetch_add(1, Ordering::Relaxed);
         for (i, req) in batch.iter().enumerate() {
-            // A client that gave up and dropped its Pending is fine.
-            let _ = req.tx.send(out.slice_rows(i, i + 1));
+            // A client that gave up and dropped its Pending is fine —
+            // but it is counted, not silently discarded.
+            if req.tx.send(out.slice_rows(i, i + 1)).is_err() {
+                // lint:allow(atomics) — monotonic stats counter, see stats().
+                shared.stats.dropped_replies.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }

@@ -12,7 +12,8 @@
 //! The mode is process-global with a thread-local scoped override:
 //!
 //! * [`set_accum`] sets the global default (also settable via the
-//!   `GANDEF_ACCUM=f64` environment variable, read once on first use).
+//!   `GANDEF_ACCUM=f64` / `GANDEF_ACCUM=kahan` environment variable,
+//!   read once on first use).
 //! * [`with_accum`] overrides the mode for the calling thread for the
 //!   duration of a closure — kernels sample the mode *once on the calling
 //!   thread* before fanning out to pool workers, so the override applies
@@ -32,13 +33,21 @@ pub enum Accum {
     /// but bit-identical across thread counts and `GANDEF_NO_FMA`
     /// settings — the mode for numerics audits and stability studies.
     F64,
+    /// Neumaier-compensated `f32` partials (Kahan summation with the
+    /// improved low-order correction). Each partial carries an `f32`
+    /// running sum plus an `f32` compensation term, recovering most of
+    /// the bits an uncompensated `f32` chain loses without paying the
+    /// `f64` bandwidth cost. Like [`Accum::F64`], the kernels use a
+    /// fixed sequential order and no FMA, so results are bit-identical
+    /// across thread counts and SIMD dispatch.
+    Kahan,
 }
 
-// 0 = unset (probe GANDEF_ACCUM on first read), 1 = F32, 2 = F64.
+// 0 = unset (probe GANDEF_ACCUM on first read), 1 = F32, 2 = F64, 3 = Kahan.
 static GLOBAL_ACCUM: AtomicU8 = AtomicU8::new(0);
 
 thread_local! {
-    // 0 = no override, 1 = F32, 2 = F64.
+    // 0 = no override, 1 = F32, 2 = F64, 3 = Kahan.
     static LOCAL_ACCUM: Cell<u8> = const { Cell::new(0) };
 }
 
@@ -46,14 +55,15 @@ fn encode(mode: Accum) -> u8 {
     match mode {
         Accum::F32 => 1,
         Accum::F64 => 2,
+        Accum::Kahan => 3,
     }
 }
 
 fn decode(raw: u8) -> Accum {
-    if raw == 2 {
-        Accum::F64
-    } else {
-        Accum::F32
+    match raw {
+        2 => Accum::F64,
+        3 => Accum::Kahan,
+        _ => Accum::F32,
     }
 }
 
@@ -69,6 +79,7 @@ fn global_accum() -> Accum {
     // env-derived value.
     let from_env = match std::env::var("GANDEF_ACCUM") {
         Ok(v) if v.eq_ignore_ascii_case("f64") => Accum::F64,
+        Ok(v) if v.eq_ignore_ascii_case("kahan") => Accum::Kahan,
         _ => Accum::F32,
     };
     // lint:allow(atomics) — same idempotent once-cache write as above.

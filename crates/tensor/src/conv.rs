@@ -818,6 +818,26 @@ pub fn global_avg_pool(input: &Tensor) -> Tensor {
                 *o = (plane.iter().map(|&v| v as f64).sum::<f64>() * inv) as f32;
             }
         }
+        crate::accum::Accum::Kahan => {
+            // Neumaier-compensated f32 plane sum; the correction and the
+            // division are applied in f64 so only one rounding remains.
+            let inv = 1.0 / (h * w) as f64;
+            for (bc, o) in out.iter_mut().enumerate() {
+                let plane = &src[bc * h * w..(bc + 1) * h * w];
+                let mut sum = 0.0f32;
+                let mut comp = 0.0f32;
+                for &v in plane {
+                    let t = sum + v;
+                    if sum.abs() >= v.abs() {
+                        comp += (sum - t) + v;
+                    } else {
+                        comp += (v - t) + sum;
+                    }
+                    sum = t;
+                }
+                *o = (((sum as f64) + (comp as f64)) * inv) as f32;
+            }
+        }
     }
     Tensor::from_vec(vec![n, c], out)
 }
@@ -1062,7 +1082,7 @@ mod tests {
         let spec = ConvSpec { stride: 1, pad: 1 };
         let x = pseudo(&[8, 3, 9, 9], 41);
         let wt = pseudo(&[5, 3, 3, 3], 42);
-        for mode in [Accum::F32, Accum::F64] {
+        for mode in [Accum::F32, Accum::F64, Accum::Kahan] {
             let fwd = with_accum(mode, || conv2d(&x, &wt, spec));
             let fwd_serial = pool::with_serial(|| with_accum(mode, || conv2d(&x, &wt, spec)));
             assert_eq!(fwd.as_slice(), fwd_serial.as_slice());

@@ -4,11 +4,12 @@
 #   scripts/ci.sh
 #
 # Steps: format check, release build, full test suite, the gandef-lint
-# static-analysis gate (zero violations in the workspace, a self-test
-# proving the lint still detects every rule on the seeded fixtures, and
-# drift checks of the panic-reachability report docs/PANICS.md and the
-# concurrency inventory docs/CONCURRENCY.md — see the regeneration notes
-# at those stages), a smoke run of the kernel
+# static-analysis gate (zero violations in the workspace under a lint
+# wall-time budget, a self-test proving the lint still detects every rule
+# on the seeded fixtures, and drift checks of the panic-reachability
+# report docs/PANICS.md, the concurrency inventory docs/CONCURRENCY.md
+# and the per-API determinism classification docs/DETERMINISM.md — see
+# the regeneration notes at those stages), a smoke run of the kernel
 # micro-benchmarks gated against the
 # checked-in BENCH_tensor.json (bench_diff; writes BENCH_smoke.json to a
 # temp dir so the checked-in file is never clobbered), the serving
@@ -43,26 +44,34 @@ cargo build --release --workspace
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
-echo "==> gandef-lint (workspace must be clean)"
-./target/release/gandef-lint
+echo "==> gandef-lint (workspace must be clean, within the time budget)"
+# scripts/lint_budget.txt holds the baseline total lint wall time in
+# milliseconds; the run fails if this machine takes more than 3x that —
+# the perf-regression gate for the lint itself (a quadratic blowup in a
+# new rule would otherwise land silently). Re-baseline with
+#   ./target/release/gandef-lint --timings 2>&1 | tail -1
+# after a deliberate analysis-cost change.
+./target/release/gandef-lint --budget scripts/lint_budget.txt
 
 echo "==> gandef-lint self-test (seeded fixtures must trip every rule)"
 # The fixtures hold exactly one violation per rule (token rules in
 # seeded.rs, parse-tree rules in seeded_semantic.rs, concurrency rules in
-# seeded_concurrency.rs); the lint must exit nonzero and report each rule
-# by name, or the gate above is meaningless.
+# seeded_concurrency.rs, determinism rules in seeded_determinism.rs); the
+# lint must exit nonzero and report each rule by name, or the gate above
+# is meaningless.
 fixture_out="$(mktemp)"
 if ./target/release/gandef-lint \
     crates/lint/fixtures/seeded.rs \
     crates/lint/fixtures/seeded_semantic.rs \
-    crates/lint/fixtures/seeded_concurrency.rs >"$fixture_out" 2>&1; then
+    crates/lint/fixtures/seeded_concurrency.rs \
+    crates/lint/fixtures/seeded_determinism.rs >"$fixture_out" 2>&1; then
     echo "FAIL: gandef-lint exited 0 on the seeded fixtures"
     cat "$fixture_out"
     rm -f "$fixture_out"
     exit 1
 fi
 for rule in safety panic bounds knob spawn alloc cast grad shape \
-    shared lockorder atomics sync; do
+    shared lockorder atomics sync reduce nondet errprop floatcmp; do
     if ! grep -q "\[$rule\]" "$fixture_out"; then
         echo "FAIL: gandef-lint did not detect seeded rule [$rule]"
         cat "$fixture_out"
@@ -71,7 +80,7 @@ for rule in safety panic bounds knob spawn alloc cast grad shape \
     fi
 done
 rm -f "$fixture_out"
-echo "self-test OK: all 13 rules detected"
+echo "self-test OK: all 17 rules detected"
 
 echo "==> gandef-lint --panics (docs/PANICS.md must be current)"
 # docs/PANICS.md is the checked-in panic-reachability report for the
@@ -109,6 +118,27 @@ fi
 rm -f "$fresh_conc"
 echo "concurrency inventory OK: docs/CONCURRENCY.md matches a fresh run"
 
+echo "==> gandef-lint --determinism (docs/DETERMINISM.md must be current)"
+# docs/DETERMINISM.md classifies every public API of gandef-tensor,
+# gandef-nn and gandef-serve as bit-exact under f64 accumulation,
+# order-sensitive under f32, or nondeterministic (with the source cited).
+# A diff here means a change moved an API between classes — a new
+# wall-clock read, a new parallel float reduction, or a path made
+# bit-exact. Review the fresh report, then regenerate the checked-in
+# copy with
+#   ./target/release/gandef-lint --determinism docs/DETERMINISM.md
+# and commit it alongside the change that moved the classification.
+fresh_det="$(mktemp)"
+./target/release/gandef-lint --determinism "$fresh_det" >/dev/null
+if ! diff -u docs/DETERMINISM.md "$fresh_det"; then
+    echo "FAIL: docs/DETERMINISM.md is stale — a determinism class moved."
+    echo "Regenerate with: ./target/release/gandef-lint --determinism docs/DETERMINISM.md"
+    rm -f "$fresh_det"
+    exit 1
+fi
+rm -f "$fresh_det"
+echo "determinism report OK: docs/DETERMINISM.md matches a fresh run"
+
 echo "==> bench_kernels --smoke + bench_diff"
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
@@ -118,7 +148,7 @@ trap 'rm -rf "$out"' EXIT
 # --require list pins the kernels the gate must actually compare, so
 # dropping e.g. the fused conv entries from the bench run fails loudly.
 ./target/release/bench_diff --baseline BENCH_tensor.json --fresh "$out/BENCH_smoke.json" \
-    --require matmul,conv2d,conv2d_im2col,conv2d_backward,elementwise_add,sum
+    --require matmul,conv2d,conv2d_im2col,conv2d_backward,elementwise_add,sum,sum_kahan
 
 echo "==> bench_serve --smoke + bench_diff"
 # Serving gate: the synthetic traffic generator drives the dynamic
