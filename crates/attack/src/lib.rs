@@ -44,6 +44,7 @@ mod deepfool;
 mod fgsm;
 mod mim;
 mod pgd;
+pub mod stream;
 mod targeted;
 
 pub use bim::Bim;

@@ -14,7 +14,7 @@
 //! cargo run --release -p gandef-bench --bin fig5_convergence [-- --smoke ...]
 //! ```
 
-use gandef_bench::{train_defense, HarnessOpts};
+use gandef_bench::{resumed_epoch, train_defense, HarnessOpts};
 use gandef_data::DatasetKind;
 use zk_gandef::defense::{Clp, Cls, Defense};
 use zk_gandef::report::loss_trace_csv;
@@ -34,7 +34,10 @@ fn main() {
     let mut traces: Vec<(String, Vec<f32>)> = Vec::new();
     for defense in [Box::new(Cls) as Box<dyn Defense>, Box::new(Clp)] {
         for (sigma, lambda) in SETTINGS {
-            let c = cfg.clone().with_sigma_lambda(sigma, lambda);
+            let c = opts.attach_resume(
+                cfg.clone().with_sigma_lambda(sigma, lambda),
+                &format!("fig5conv-{}-s{sigma}-l{lambda}", defense.name()),
+            );
             let (net, report) = train_defense(defense.as_ref(), &ds, &c, opts.seed);
             let label = format!("{}(s={sigma},l={lambda})", report.defense);
             let verdict = if report.failed_to_converge(0.10) {
@@ -42,8 +45,12 @@ fn main() {
             } else {
                 "converged"
             };
+            let note = match resumed_epoch(&report) {
+                Some(epoch) => format!(" [resumed at epoch {epoch}]"),
+                None => String::new(),
+            };
             println!(
-                "{label}: first {:.3} last {:.3} -> {verdict} (test acc {:.2}%)",
+                "{label}: first {:.3} last {:.3} -> {verdict} (test acc {:.2}%){note}",
                 report.epoch_losses.first().copied().unwrap_or(f32::NAN),
                 report.final_loss(),
                 net.accuracy_on(&ds.test_x, &ds.test_y) * 100.0

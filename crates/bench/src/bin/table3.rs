@@ -10,7 +10,7 @@
 //! and writes `table3.md` plus `fig4.csv` (one row per cell — the series
 //! Figure 4 plots) under the output directory.
 
-use gandef_bench::{all_defenses, dataset_label, train_defense, HarnessOpts};
+use gandef_bench::{all_defenses, dataset_label, resumed_epoch, train_defense, HarnessOpts};
 use gandef_data::DatasetKind;
 use gandef_tensor::rng::Prng;
 use zk_gandef::eval::{evaluate, standard_attacks, AccuracyGrid, TABLE3_EXAMPLES};
@@ -32,7 +32,11 @@ fn main() {
         );
         for defense in all_defenses() {
             let t0 = std::time::Instant::now();
-            let (net, report) = train_defense(defense.as_ref(), &ds, &cfg, opts.seed);
+            let c = opts.attach_resume(
+                cfg.clone(),
+                &format!("table3-{}-{}", dataset_label(kind), defense.name()),
+            );
+            let (net, report) = train_defense(defense.as_ref(), &ds, &c, opts.seed);
             let mut arng = Prng::new(opts.seed ^ 0xA77A);
             let rows = evaluate(&net, &attacks, &ds.test_x, &ds.test_y, &mut arng);
             print!("  {:<11}", defense.name());
@@ -40,8 +44,12 @@ fn main() {
                 grid.record(defense.name(), dataset_label(kind), example, *acc);
                 print!(" {}={:>6.2}%", example, acc * 100.0);
             }
+            let note = match resumed_epoch(&report) {
+                Some(epoch) => format!(" [resumed at epoch {epoch}]"),
+                None => String::new(),
+            };
             println!(
-                "  [{:.0}s train, {:.0}s total, loss {:.3}]",
+                "  [{:.0}s train, {:.0}s total, loss {:.3}]{note}",
                 report.total_seconds(),
                 t0.elapsed().as_secs_f64(),
                 report.final_loss()

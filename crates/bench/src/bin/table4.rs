@@ -9,7 +9,7 @@
 //! cargo run --release -p gandef-bench --bin table4 [-- --smoke|--paper-scale ...]
 //! ```
 
-use gandef_bench::{dataset_label, train_defense, HarnessOpts};
+use gandef_bench::{dataset_label, resumed_epoch, train_defense, HarnessOpts};
 use gandef_data::DatasetKind;
 use gandef_tensor::rng::Prng;
 use zk_gandef::defense::GanDef;
@@ -26,7 +26,11 @@ fn main() {
         let ds = opts.dataset(kind);
         let cfg = opts.config(kind);
         let defense = GanDef::zero_knowledge();
-        let (net, _) = train_defense(&defense, &ds, &cfg, opts.seed);
+        let cfg = opts.attach_resume(cfg, &format!("table4-{}", dataset_label(kind)));
+        let (net, report) = train_defense(&defense, &ds, &cfg, opts.seed);
+        if let Some(epoch) = resumed_epoch(&report) {
+            println!("{}: [resumed at epoch {epoch}]", dataset_label(kind));
+        }
         // Table IV uses "the same hyper-parameter setting as PGD" (§V-B).
         let attacks = extended_attacks(&cfg.budget);
         let mut arng = Prng::new(opts.seed ^ 0x7AB4);

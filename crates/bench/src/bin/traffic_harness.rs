@@ -1,0 +1,640 @@
+//! Continuous-traffic robustness harness for the `gandef_serve` layer.
+//!
+//! The ROADMAP's "continuous-traffic robustness harness" item, in two
+//! modes:
+//!
+//! **Normal mode** (default): trains a small classifier, pre-generates
+//! mixed clean/FGSM/PGD/DeepFool traffic pools
+//! ([`gandef_attack::stream::TrafficStream`]), then replays a long
+//! closed-loop stream of that traffic against a live [`Server`] while a
+//! concurrent writer keeps hot-reloading perturbed checkpoints under it.
+//! Online accuracy is tracked per traffic class and per time window
+//! (accuracy *drift* across windows is the health signal — a reload that
+//! tore or regressed the weights shows up here), latency percentiles and
+//! sustained throughput are recorded, and everything lands in
+//! `BENCH_traffic.json` for the `bench_diff` CI gate.
+//!
+//! **Chaos mode** (`--chaos`): sweeps every serve-path fault site
+//! (`serve_submit`, `serve_batch`, `serve_forward`, `serve_reply`,
+//! `serve_reload`) crossed with every injectable kind (`io-fail`,
+//! `panic`, `delay`) using the process-global `GANDEF_FAULT` arm, against
+//! a *fingerprint* model (zero weights, bias = checkpoint version, so
+//! every correct reply is a constant row and a torn/mixed snapshot is
+//! detectable from a single output). Asserts the fault-tolerance
+//! invariants: every accepted request resolves with a result or a typed
+//! error (no `Pending::wait` ever hangs), no reply ever shows torn
+//! weights, the supervisor restarts a panicked batcher (and the watcher
+//! survives a panicked poll), and the service answers again after the
+//! fault clears.
+//!
+//! Usage: `traffic_harness [--chaos] [--smoke] [--out PATH]` (default out
+//! `BENCH_traffic.json`; `--smoke` shortens the run for CI).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use gandef_attack::stream::{TrafficClass, TrafficMix, TrafficSample, TrafficStream};
+use gandef_attack::AttackBudget;
+use gandef_bench::microbench::{self, Measurement};
+use gandef_data::{batches, generate, DatasetKind, GenSpec};
+use gandef_nn::fault::{FaultSpec, GlobalFault};
+use gandef_nn::layer::{Dense, Sequential};
+use gandef_nn::optim::{Adam, Optimizer};
+use gandef_nn::serialize::{load_params, save_params};
+use gandef_nn::{one_hot, zoo, Mode, Net, Params, Session};
+use gandef_serve::{RetryPolicy, ServeConfig, Server};
+use gandef_tensor::rng::Prng;
+use gandef_tensor::Tensor;
+
+const IN_DIM: usize = 28 * 28;
+const HIDDEN: usize = 64;
+const CLASSES: usize = 10;
+/// FLOPs of one forward pass through the traffic MLP for one example.
+const FLOPS_PER_REQ: u64 = 2 * (IN_DIM as u64 * HIDDEN as u64 + HIDDEN as u64 * CLASSES as u64);
+/// Accuracy windows the replay is split into for drift tracking.
+const WINDOWS: usize = 8;
+/// Upper bound on waiting for any client thread to report; a fleet that
+/// exceeds this is wedged, which is exactly the bug this harness exists
+/// to catch.
+const JOIN_DEADLINE: Duration = Duration::from_secs(120);
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn class_idx(class: TrafficClass) -> usize {
+    TrafficClass::ALL
+        .iter()
+        .position(|c| *c == class)
+        .unwrap_or(0)
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("gandef-traffic-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Trains the standard 28×28 MLP on SynthDigits to a usable accuracy.
+fn train_traffic_net() -> (Net, Tensor, Vec<usize>) {
+    let ds = generate(
+        DatasetKind::SynthDigits,
+        &GenSpec {
+            train: 600,
+            test: 64,
+            seed: 11,
+        },
+    );
+    let mut rng = Prng::new(0);
+    let mut net = Net::new(zoo::mlp(IN_DIM, HIDDEN, CLASSES), &mut rng);
+    let mut opt = Adam::new(0.003);
+    for _ in 0..12 {
+        for (xb, yb) in batches(&ds.train_x, &ds.train_y, 32, &mut rng) {
+            let mut sess = Session::new(&net.params, Mode::Train, rng.fork(1));
+            let x = sess.input(xb);
+            let z = net.model.forward(&mut sess, x);
+            let loss = sess.tape.softmax_cross_entropy(z, &one_hot(&yb, CLASSES));
+            let grads = sess.backward(loss);
+            opt.step(&mut net.params, &grads);
+        }
+    }
+    let acc = net.accuracy_on(&ds.test_x, &ds.test_y);
+    assert!(acc > 0.75, "traffic net failed to train (acc {acc})");
+    (net, ds.test_x, ds.test_y)
+}
+
+/// Per-client replay record: latencies plus windowed per-class hit counts.
+struct ClientReport {
+    latencies_ns: Vec<f64>,
+    /// `[window][class] -> (correct, total)`.
+    hits: Vec<[(u64, u64); 4]>,
+}
+
+fn traffic_run(smoke: bool, out_path: &str) {
+    let (clients, per_client) = if smoke { (8, 50) } else { (8, 400) };
+    let pool_rows = 32;
+
+    println!("traffic_harness: training the serving model...");
+    let (net, test_x, test_y) = train_traffic_net();
+
+    println!("traffic_harness: pre-generating clean/FGSM/PGD/DeepFool pools ({pool_rows} rows)...");
+    let pool_x = test_x.slice_rows(0, pool_rows);
+    let pool_y = &test_y[..pool_rows];
+    let budget = AttackBudget::for_28x28();
+    let mut stream =
+        TrafficStream::generate(&net, &pool_x, pool_y, &budget, TrafficMix::default(), 42);
+
+    // Pre-draw every client's request sequence so replay-time sampling is
+    // free and the stream stays deterministic regardless of thread
+    // interleaving.
+    let sequences: Vec<Vec<TrafficSample>> = (0..clients)
+        .map(|_| (0..per_client).map(|_| stream.next_sample()).collect())
+        .collect();
+
+    let dir = temp_dir("normal");
+    let ckpt = dir.join("model.gndf");
+    save_params(&net.params, &ckpt).expect("write initial checkpoint");
+
+    let cfg = ServeConfig::default()
+        .max_batch(16)
+        .max_wait(Duration::from_micros(500))
+        .queue_cap(clients * 8)
+        .deadline(Duration::from_secs(2))
+        .reload_poll(Duration::from_millis(10));
+    let server = Server::with_hot_reload(net.model, net.params, vec![1, 28, 28], cfg, ckpt.clone());
+
+    let stop_writer = AtomicBool::new(false);
+    let started = Instant::now();
+    let reports: Vec<ClientReport> = std::thread::scope(|scope| {
+        // Hot-reload writer: perturbs the trained weights by tiny Gaussian
+        // noise each round — the checkpoint's CRC changes every write (the
+        // length and often the mtime do not), exercising the content-keyed
+        // reload path while keeping accuracy essentially unchanged.
+        let writer_stop = &stop_writer;
+        let writer_ckpt = ckpt.clone();
+        // lint:allow(spawn) — the writer blocks on sleeps and file I/O;
+        // parking it on the compute pool would starve the forward passes.
+        scope.spawn(move || {
+            let base = load_params(&writer_ckpt).expect("read back base checkpoint");
+            let mut rng = Prng::new(1234);
+            let mut round = 0u64;
+            while !writer_stop.load(Ordering::Relaxed) {
+                round += 1;
+                let mut perturbed = Params::default();
+                for (name, t) in base.iter() {
+                    let noise = rng.normal_tensor(t.shape().dims(), 0.0, 1e-3);
+                    perturbed.insert(name, t.add(&noise));
+                }
+                save_params(&perturbed, &writer_ckpt).expect("write perturbed checkpoint");
+                std::thread::sleep(Duration::from_millis(25));
+                let _ = round;
+            }
+        });
+
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, ClientReport)>();
+        for (id, seq) in sequences.iter().enumerate() {
+            let server = &server;
+            let tx = tx.clone();
+            // lint:allow(spawn) — harness clients must be real blocking
+            // threads: each parks in Pending::wait, which would deadlock
+            // the compute pool the batcher's forward pass runs on.
+            scope.spawn(move || {
+                let policy = RetryPolicy::default()
+                    .max_attempts(5)
+                    .base(Duration::from_micros(200))
+                    .seed(100 + id as u64);
+                let mut report = ClientReport {
+                    latencies_ns: Vec::with_capacity(seq.len()),
+                    hits: vec![[(0, 0); 4]; WINDOWS],
+                };
+                for (i, sample) in seq.iter().enumerate() {
+                    let window = i * WINDOWS / seq.len();
+                    let t0 = Instant::now();
+                    let y = server
+                        .classify_with_retry(sample.x.clone(), &policy)
+                        .expect("request unrecoverable under plain load");
+                    let lat = t0.elapsed().as_nanos() as f64;
+                    report.latencies_ns.push(lat);
+                    let predicted = y.argmax_rows()[0];
+                    let cell = &mut report.hits[window][class_idx(sample.class)];
+                    cell.1 += 1;
+                    if predicted == sample.label {
+                        cell.0 += 1;
+                    }
+                }
+                let _ = tx.send((id, report));
+            });
+        }
+        drop(tx);
+        let mut reports: Vec<Option<ClientReport>> = (0..clients).map(|_| None).collect();
+        for _ in 0..clients {
+            match rx.recv_timeout(JOIN_DEADLINE) {
+                Ok((id, rep)) => reports[id] = Some(rep),
+                Err(e) => {
+                    let missing: Vec<String> = reports
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| r.is_none())
+                        .map(|(i, _)| i.to_string())
+                        .collect();
+                    eprintln!(
+                        "traffic_harness: client fleet wedged ({e:?}); clients [{}] never \
+                         reported — a hung Pending::wait is exactly the invariant violation \
+                         this harness exists to catch",
+                        missing.join(", ")
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        stop_writer.store(true, Ordering::Relaxed);
+        reports.into_iter().flatten().collect()
+    });
+    let wall_ns = started.elapsed().as_nanos() as f64;
+
+    // Give the watcher a moment to notice the last write, then require
+    // that hot-reload actually happened during the run.
+    let reload_deadline = Instant::now() + Duration::from_secs(3);
+    while server.stats().reloads == 0 && Instant::now() < reload_deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let stats = server.shutdown();
+    assert!(
+        stats.reloads >= 1,
+        "no hot-reload landed during the replay (stats: {stats:?})"
+    );
+
+    // Aggregate latency and windowed accuracy.
+    let mut latencies: Vec<f64> = reports
+        .iter()
+        .flat_map(|r| r.latencies_ns.clone())
+        .collect();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let total_reqs = latencies.len();
+    assert_eq!(total_reqs, clients * per_client);
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let ns_per_req = wall_ns / total_reqs as f64;
+
+    let mut class_hits = [(0u64, 0u64); 4];
+    let mut window_hits = [(0u64, 0u64); WINDOWS];
+    for rep in &reports {
+        for (w, row) in rep.hits.iter().enumerate() {
+            for (c, &(ok, n)) in row.iter().enumerate() {
+                class_hits[c].0 += ok;
+                class_hits[c].1 += n;
+                window_hits[w].0 += ok;
+                window_hits[w].1 += n;
+            }
+        }
+    }
+    let acc = |(ok, n): (u64, u64)| {
+        if n == 0 {
+            0.0
+        } else {
+            ok as f64 / n as f64
+        }
+    };
+    let window_accs: Vec<f64> = window_hits.iter().map(|&h| acc(h)).collect();
+    let drift = window_accs.iter().copied().fold(f64::MIN, f64::max)
+        - window_accs.iter().copied().fold(f64::MAX, f64::min);
+
+    println!(
+        "traffic: {total_reqs} reqs in {:.2}s ({:.0} req/s), p50 {:.1}µs p99 {:.1}µs",
+        wall_ns / 1e9,
+        1e9 / ns_per_req,
+        p50 / 1e3,
+        p99 / 1e3
+    );
+    for c in TrafficClass::ALL {
+        let h = class_hits[class_idx(c)];
+        println!(
+            "  {:<9} {:>5} reqs  online accuracy {:.3}",
+            c.name(),
+            h.1,
+            acc(h)
+        );
+    }
+    println!(
+        "  windows   {}  (drift {:.3})",
+        window_accs
+            .iter()
+            .map(|a| format!("{a:.2}"))
+            .collect::<Vec<_>>()
+            .join(" "),
+        drift
+    );
+    println!(
+        "  reloads {} (rejected {}), batches {}, expired {}, restarts {}",
+        stats.reloads, stats.rejected_reloads, stats.batches, stats.expired, stats.batcher_restarts
+    );
+
+    let clean_acc = acc(class_hits[class_idx(TrafficClass::Clean)]);
+    assert!(
+        clean_acc > 0.6,
+        "online clean accuracy collapsed ({clean_acc:.3}) — torn or stale weights?"
+    );
+
+    let shape = format!("mlp{IN_DIM}-{HIDDEN}-{CLASSES} c{clients} mix40/20/20/20");
+    let results = vec![
+        Measurement {
+            name: "traffic_throughput".to_string(),
+            shape: shape.clone(),
+            ns_per_iter: ns_per_req,
+            gflops: FLOPS_PER_REQ as f64 / ns_per_req,
+        },
+        Measurement {
+            name: "traffic_p99".to_string(),
+            shape: shape.clone(),
+            ns_per_iter: p99,
+            gflops: FLOPS_PER_REQ as f64 / p99,
+        },
+        Measurement {
+            name: "traffic_clean_acc".to_string(),
+            shape: shape.clone(),
+            ns_per_iter: 0.0,
+            gflops: clean_acc,
+        },
+        Measurement {
+            name: "traffic_fgsm_acc".to_string(),
+            shape: shape.clone(),
+            ns_per_iter: 0.0,
+            gflops: acc(class_hits[class_idx(TrafficClass::Fgsm)]),
+        },
+        Measurement {
+            name: "traffic_pgd_acc".to_string(),
+            shape: shape.clone(),
+            ns_per_iter: 0.0,
+            gflops: acc(class_hits[class_idx(TrafficClass::Pgd)]),
+        },
+        Measurement {
+            name: "traffic_deepfool_acc".to_string(),
+            shape: shape.clone(),
+            ns_per_iter: 0.0,
+            gflops: acc(class_hits[class_idx(TrafficClass::DeepFool)]),
+        },
+        Measurement {
+            name: "traffic_acc_drift".to_string(),
+            shape,
+            ns_per_iter: 0.0,
+            gflops: drift,
+        },
+    ];
+    std::fs::write(out_path, microbench::to_json(&results)).expect("write bench output");
+    println!("wrote {out_path}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Chaos mode
+// ---------------------------------------------------------------------
+
+const FP_IN: usize = 8;
+const FP_OUT: usize = 4;
+
+/// Fingerprint weights: zero matrix + constant bias, so every correctly
+/// served row is exactly `[version; FP_OUT]` and any torn/mixed snapshot
+/// is visible in a single reply.
+fn fingerprint_params(version: f32) -> Params {
+    let mut p = Params::default();
+    p.insert("fp.w", Tensor::zeros(&[FP_IN, FP_OUT]));
+    p.insert("fp.b", Tensor::full(&[FP_OUT], version));
+    p
+}
+
+fn fingerprint_model() -> Sequential {
+    Sequential::new(vec![
+        Box::new(Dense::new("fp", FP_IN, FP_OUT, None)) as Box<dyn gandef_nn::layer::Layer>
+    ])
+}
+
+/// Outcome tally of one chaos scenario's client fleet.
+#[derive(Default)]
+struct ChaosTally {
+    ok: u64,
+    typed_err: u64,
+    client_panics: u64,
+}
+
+fn chaos_scenario(kind: &str, site: &str, smoke: bool) -> ChaosTally {
+    let (clients, per_client) = if smoke { (3, 15) } else { (4, 40) };
+    // Versions v1 is the serving snapshot; the writer publishes v2..=v5.
+    let written_versions = 5u32;
+
+    let dir = temp_dir(&format!("chaos-{kind}-{site}"));
+    let ckpt = dir.join("model.gndf");
+    save_params(&fingerprint_params(1.0), &ckpt).expect("write initial checkpoint");
+
+    let cfg = ServeConfig::default()
+        .max_batch(4)
+        .max_wait(Duration::from_millis(1))
+        .queue_cap(1024)
+        .deadline(Duration::from_millis(200))
+        .reload_poll(Duration::from_millis(5));
+    let server = Server::with_hot_reload(
+        fingerprint_model(),
+        fingerprint_params(1.0),
+        vec![FP_IN],
+        cfg,
+        ckpt.clone(),
+    );
+
+    // `serve_reload` only triggers on a *changed* poll, so give it a low
+    // ordinal; the request-path sites see many passes, so let a little
+    // clean traffic through first.
+    let ordinal = if site == "serve_reload" { 2 } else { 3 };
+    let spec = match kind {
+        "delay" => format!("{kind}:{site}:{ordinal}:25"),
+        _ => format!("{kind}:{site}:{ordinal}"),
+    };
+    let armed = GlobalFault::arm(FaultSpec::parse(&spec).expect("chaos spec"));
+
+    let mut tally = ChaosTally::default();
+    std::thread::scope(|scope| {
+        // Checkpoint writer: publishes v2..=v5 while the fleet runs, so
+        // hot-reload (and its fault site) is active during the chaos.
+        let writer_ckpt = ckpt.clone();
+        // lint:allow(spawn) — blocking writer thread, same as the traffic
+        // run's: the compute pool must stay free for the forward passes.
+        scope.spawn(move || {
+            for v in 2..=written_versions {
+                std::thread::sleep(Duration::from_millis(25));
+                save_params(&fingerprint_params(v as f32), &writer_ckpt)
+                    .expect("write chaos checkpoint");
+            }
+        });
+
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, ChaosTally)>();
+        for id in 0..clients {
+            let server = &server;
+            let tx = tx.clone();
+            // lint:allow(spawn) — chaos clients must be real blocking
+            // threads parked in Pending::wait; that is the code path
+            // whose never-hang invariant is under test.
+            scope.spawn(move || {
+                let policy = RetryPolicy::default()
+                    .max_attempts(6)
+                    .base(Duration::from_millis(1))
+                    .cap(Duration::from_millis(20))
+                    .seed(7 + id as u64);
+                let mut local = ChaosTally::default();
+                for _ in 0..per_client {
+                    // An injected panic at serve_submit unwinds the
+                    // *submitting* (client) thread; contain it so the
+                    // client finishes its run and the tally stays exact.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        server.classify_with_retry(Tensor::zeros(&[FP_IN]), &policy)
+                    }));
+                    match outcome {
+                        Ok(Ok(y)) => {
+                            let row = y.as_slice();
+                            assert_eq!(row.len(), FP_OUT);
+                            // Torn-weights invariant: a served row is a
+                            // *constant* vector at one of the published
+                            // versions — never a mix.
+                            let v = row[0];
+                            assert!(
+                                row.iter().all(|&r| r == v),
+                                "torn snapshot: non-constant fingerprint row {row:?}"
+                            );
+                            assert!(
+                                (1..=written_versions).any(|k| v == k as f32),
+                                "fingerprint version {v} was never published"
+                            );
+                            local.ok += 1;
+                        }
+                        Ok(Err(_typed)) => local.typed_err += 1,
+                        Err(_panic) => local.client_panics += 1,
+                    }
+                }
+                let _ = tx.send((id, local));
+            });
+        }
+        drop(tx);
+        for _ in 0..clients {
+            match rx.recv_timeout(JOIN_DEADLINE) {
+                Ok((_, local)) => {
+                    tally.ok += local.ok;
+                    tally.typed_err += local.typed_err;
+                    tally.client_panics += local.client_panics;
+                }
+                Err(e) => {
+                    eprintln!(
+                        "traffic_harness --chaos [{kind}:{site}]: client fleet wedged \
+                         ({e:?}) — a Pending::wait hung, violating the never-hang invariant"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+    });
+
+    // Every issued request resolved one way or another — nothing hung.
+    let total = (clients * per_client) as u64;
+    assert_eq!(
+        tally.ok + tally.typed_err + tally.client_panics,
+        total,
+        "[{kind}:{site}] lost track of requests"
+    );
+    // Client-side unwinds only happen for the one fault that fires on the
+    // submitter's own stack.
+    if !(kind == "panic" && site == "serve_submit") {
+        assert_eq!(
+            tally.client_panics, 0,
+            "[{kind}:{site}] unexpected client panics"
+        );
+    }
+
+    // Bounded recovery: with the fault disarmed, the service must answer
+    // again promptly (the supervisor has respawned any dead batcher).
+    drop(armed);
+    let recovery = RetryPolicy::default()
+        .max_attempts(8)
+        .base(Duration::from_millis(2))
+        .seed(99);
+    let y = server
+        .classify_with_retry(Tensor::zeros(&[FP_IN]), &recovery)
+        .unwrap_or_else(|e| panic!("[{kind}:{site}] service did not recover: {e}"));
+    assert_eq!(y.shape().dims(), &[1, FP_OUT]);
+
+    let stats = server.shutdown();
+    if kind == "panic" {
+        match site {
+            "serve_batch" | "serve_forward" | "serve_reply" => assert!(
+                stats.batcher_restarts >= 1,
+                "[{kind}:{site}] batcher panic was not supervised (stats {stats:?})"
+            ),
+            "serve_reload" => assert!(
+                stats.watcher_restarts >= 1,
+                "[{kind}:{site}] watcher panic was not contained (stats {stats:?})"
+            ),
+            _ => {}
+        }
+    }
+    if kind == "io-fail" {
+        match site {
+            "serve_submit" => assert!(
+                stats.shed >= 1,
+                "[{kind}:{site}] injected admission failure never shed (stats {stats:?})"
+            ),
+            "serve_reload" => assert!(
+                stats.rejected_reloads >= 1,
+                "[{kind}:{site}] injected reload failure never counted (stats {stats:?})"
+            ),
+            _ => {}
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    tally
+}
+
+fn chaos_sweep(smoke: bool) {
+    // The injected panics are intentional; keep their backtraces out of
+    // the harness output so a real failure is visible. Everything else
+    // still reaches the default hook.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+        let injected = msg.is_some_and(|s| s.contains("injected fault panic"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let sites = [
+        "serve_submit",
+        "serve_batch",
+        "serve_forward",
+        "serve_reply",
+        "serve_reload",
+    ];
+    let kinds = ["io-fail", "panic", "delay"];
+    for kind in kinds {
+        for site in sites {
+            let t0 = Instant::now();
+            let tally = chaos_scenario(kind, site, smoke);
+            println!(
+                "chaos [{kind:>7}:{site:<13}] ok={:<4} typed_err={:<3} client_panics={} \
+                 ({} ms)",
+                tally.ok,
+                tally.typed_err,
+                tally.client_panics,
+                t0.elapsed().as_millis()
+            );
+        }
+    }
+    println!(
+        "chaos sweep passed: {} scenarios, every request resolved, no torn weights, \
+         service recovered after every fault",
+        sites.len() * kinds.len()
+    );
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut chaos = false;
+    let mut out_path = String::from("BENCH_traffic.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--chaos" => chaos = true,
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            other => {
+                eprintln!("unknown flag {other}; supported: --chaos --smoke --out PATH");
+                std::process::exit(2);
+            }
+        }
+    }
+    if chaos {
+        chaos_sweep(smoke);
+    } else {
+        traffic_run(smoke, &out_path);
+    }
+}

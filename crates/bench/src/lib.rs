@@ -20,7 +20,11 @@
 //! All binaries accept `--paper-scale` (paper epoch counts), `--train N`,
 //! `--test N`, `--seed S` and `--out DIR` (default `results/`), print their
 //! tables to stdout, and write machine-readable CSV/markdown under the
-//! output directory.
+//! output directory. The long-running training binaries (`table3`,
+//! `table4`, `fig5_convergence`) additionally accept `--resume DIR`: every
+//! training run then checkpoints into its own tagged subdirectory of `DIR`
+//! after each epoch and a rerun picks up at the last completed epoch
+//! instead of retraining from scratch (see [`HarnessOpts::attach_resume`]).
 
 #![deny(missing_docs)]
 
@@ -48,6 +52,10 @@ pub struct HarnessOpts {
     pub out_dir: PathBuf,
     /// Smoke mode: tiny sizes for CI-style sanity runs.
     pub smoke: bool,
+    /// Checkpoint/resume root: when set, every training run checkpoints
+    /// into its own tagged subdirectory and picks up where it left off
+    /// after a crash (`--resume DIR`).
+    pub resume: Option<PathBuf>,
 }
 
 impl Default for HarnessOpts {
@@ -59,6 +67,7 @@ impl Default for HarnessOpts {
             seed: 7,
             out_dir: PathBuf::from("results"),
             smoke: false,
+            resume: None,
         }
     }
 }
@@ -86,9 +95,10 @@ impl HarnessOpts {
                 "--test" => opts.test = parse_num(&take("--test"), "--test N"),
                 "--seed" => opts.seed = parse_num(&take("--seed"), "--seed S"),
                 "--out" => opts.out_dir = PathBuf::from(take("--out")),
+                "--resume" => opts.resume = Some(PathBuf::from(take("--resume"))),
                 other => {
                     eprintln!(
-                        "unknown flag {other}; supported: --paper-scale --smoke --train N --test N --seed S --out DIR"
+                        "unknown flag {other}; supported: --paper-scale --smoke --train N --test N --seed S --out DIR --resume DIR"
                     );
                     std::process::exit(2);
                 }
@@ -136,6 +146,20 @@ impl HarnessOpts {
                 seed: self.seed,
             },
         )
+    }
+
+    /// Attaches the per-run checkpoint directory `<resume>/<tag>` to `cfg`
+    /// when `--resume DIR` was given, so the run checkpoints after every
+    /// epoch and resumes from the latest checkpoint on the next
+    /// invocation. Without `--resume` the config passes through unchanged.
+    /// Tags must be unique per training run within a binary (dataset ×
+    /// defense × hyper-parameters) or runs would clobber each other's
+    /// checkpoints.
+    pub fn attach_resume(&self, cfg: TrainConfig, tag: &str) -> TrainConfig {
+        match &self.resume {
+            Some(dir) => cfg.with_checkpoint(dir.join(tag)),
+            None => cfg,
+        }
     }
 
     /// Writes an artifact file under the output directory, creating it if
@@ -208,6 +232,17 @@ pub fn read_artifact(dir: &Path, name: &str) -> Option<String> {
     std::fs::read_to_string(dir.join(name)).ok()
 }
 
+/// The epoch a report resumed from, if it did — for `[resumed at epoch N]`
+/// annotations next to timing numbers (a resumed run's wall-clock covers
+/// only the freshly trained epochs, so the annotation keeps the printed
+/// timings honest).
+pub fn resumed_epoch(report: &zk_gandef::defense::TrainReport) -> Option<usize> {
+    report.events.iter().find_map(|e| match e {
+        zk_gandef::defense::RunEvent::Resumed { epoch } => Some(*epoch),
+        _ => None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +274,24 @@ mod tests {
         let mut s = HarnessOpts::default();
         s.smoke = true;
         assert_eq!(s.config(DatasetKind::SynthCifar).epochs, 2);
+    }
+
+    #[test]
+    fn attach_resume_is_a_no_op_without_a_dir_and_tags_with_one() {
+        let kind = DatasetKind::SynthDigits;
+        let plain = HarnessOpts::default();
+        assert!(
+            plain
+                .attach_resume(plain.config(kind), "table3-x")
+                .checkpoint
+                .is_none(),
+            "no --resume must leave checkpointing off"
+        );
+        let mut resumable = HarnessOpts::default();
+        resumable.resume = Some(PathBuf::from("ckpts"));
+        let cfg = resumable.attach_resume(resumable.config(kind), "table3-x");
+        let policy = cfg.checkpoint.expect("--resume must attach a policy");
+        assert_eq!(policy.dir, Path::new("ckpts").join("table3-x"));
     }
 
     #[test]

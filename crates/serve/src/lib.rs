@@ -1,4 +1,5 @@
-//! Batched inference serving for trained ZK-GanDef classifiers.
+//! Batched, fault-tolerant inference serving for trained ZK-GanDef
+//! classifiers.
 //!
 //! The paper's defense is only useful if the hardened classifier can be
 //! *deployed*; this crate provides the serving layer:
@@ -11,19 +12,47 @@
 //!   workers. Batching amortizes the matmul/conv fixed costs, so
 //!   sustained throughput is far higher than request-at-a-time serving.
 //! * **Checkpoint hot-reload.** An optional watcher thread polls a GNDF
-//!   weight file (`(len, mtime)` key) and, when it changes, loads it with
-//!   the CRC-verifying [`load_params_meta`]. Only a checkpoint that (a)
-//!   passes the checksum and (b) is name/shape-compatible with the
-//!   current weights is swapped in — atomically, as an `Arc<Params>`
-//!   snapshot taken once per batch, so a batch never sees a torn or mixed
-//!   set of weights. A bad file (torn write, wrong model) is counted and
-//!   the server keeps answering from the previous snapshot.
+//!   weight file (`(len, mtime, fingerprint)` key — the content
+//!   fingerprint catches a same-size, same-mtime rewrite that a pure
+//!   metadata key misses) and, when it changes, loads it with the
+//!   CRC-verifying [`load_params_meta`]. Only
+//!   a checkpoint that (a) passes the checksum and (b) is
+//!   name/shape-compatible with the current weights is swapped in —
+//!   atomically, as an `Arc<Params>` snapshot taken once per batch, so a
+//!   batch never sees a torn or mixed set of weights. A bad file (torn
+//!   write, wrong model) is counted and the server keeps answering from
+//!   the previous snapshot.
+//! * **Deadlines.** A request carries an optional deadline
+//!   ([`ServeConfig::deadline`] or the per-request
+//!   [`Server::submit_with_deadline`] override). The batcher *expires*
+//!   an overdue request with [`ServeError::DeadlineExceeded`] instead of
+//!   serving it late, so one slow batch cannot poison the latency of
+//!   everything queued behind it.
+//! * **Supervision.** The batcher thread runs under a supervisor: if it
+//!   panics (a bug, or an injected `GANDEF_FAULT=panic:serve_batch:n`),
+//!   every queued request fails fast with the retryable
+//!   [`ServeError::BatcherDown`] — a [`Pending::wait`] can *never* hang —
+//!   and the batcher is respawned from the last-good `Arc<Params>`
+//!   snapshot, counted in [`ServeStats::batcher_restarts`]. The watcher
+//!   survives its own panics the same way.
+//! * **Load shedding.** Past [`ServeConfig::shed_threshold`] queued
+//!   requests, [`Server::submit`] sheds with [`ServeError::Overloaded`]
+//!   carrying a retry-after hint, so requests that *are* accepted keep
+//!   their latency SLO instead of everyone timing out together. The
+//!   client-side [`Server::classify_with_retry`] helper honors the hint
+//!   with bounded exponential backoff plus jitter.
+//! * **Fault injection.** The serve path exposes `gandef_nn::fault`
+//!   sites — `serve_submit`, `serve_batch`, `serve_forward`,
+//!   `serve_reply`, `serve_reload` — so the chaos harness
+//!   (`traffic_harness --chaos`) can prove the invariants above hold
+//!   under injected panics, delays and I/O failures.
 //! * **Deterministic option.** With [`ServeConfig::accum`] set to
 //!   [`Accum::F64`], batched outputs are bit-identical to unbatched ones
 //!   (row reductions become order-independent at f64), which is what the
-//!   serving-semantics tests pin down. Note the accumulation override is
-//!   applied *on the batcher thread* — thread-local `with_accum` in a
-//!   client does not reach the forward pass.
+//!   serving-semantics tests pin down — including across a supervised
+//!   batcher restart. Note the accumulation override is applied *on the
+//!   batcher thread* — thread-local `with_accum` in a client does not
+//!   reach the forward pass.
 //!
 //! # Example
 //!
@@ -57,10 +86,12 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use gandef_nn::fault::io_point;
 use gandef_nn::layer::Sequential;
-use gandef_nn::serialize::load_params_meta;
+use gandef_nn::serialize::{checkpoint_fingerprint, load_params_meta};
 use gandef_nn::Params;
 use gandef_tensor::accum::{with_accum, Accum};
+use gandef_tensor::rng::Prng;
 use gandef_tensor::Tensor;
 
 /// Locks a mutex, recovering the guard if a client thread panicked while
@@ -97,6 +128,20 @@ fn default_max_wait() -> Duration {
     Duration::from_micros(us)
 }
 
+/// Default and env-overridable request deadline (`GANDEF_SERVE_DEADLINE_US`,
+/// microseconds; 0 or unset means "no deadline").
+fn default_deadline() -> Option<Duration> {
+    /// Parsed `GANDEF_SERVE_DEADLINE_US` value, read once per process.
+    static CACHE: OnceLock<u64> = OnceLock::new();
+    let us = *CACHE.get_or_init(|| {
+        std::env::var("GANDEF_SERVE_DEADLINE_US")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or(0)
+    });
+    (us > 0).then(|| Duration::from_micros(us))
+}
+
 /// Tuning for the dynamic batcher and the hot-reload watcher.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
@@ -110,6 +155,18 @@ pub struct ServeConfig {
     /// Backpressure bound: [`Server::submit`] returns
     /// [`ServeError::QueueFull`] once this many requests are waiting.
     pub queue_cap: usize,
+    /// Load-shedding bound: once this many requests are waiting,
+    /// [`Server::submit`] sheds with [`ServeError::Overloaded`] and a
+    /// retry-after hint instead of queueing deeper. `None` (default)
+    /// disables shedding, leaving only the hard [`Self::queue_cap`].
+    pub shed_threshold: Option<usize>,
+    /// Default per-request deadline, measured from the moment
+    /// [`Server::submit`] accepts the request: a request the batcher has
+    /// not *dispatched* by then is expired with
+    /// [`ServeError::DeadlineExceeded`] instead of served late. `None`
+    /// means requests wait indefinitely. Default:
+    /// `GANDEF_SERVE_DEADLINE_US` microseconds, or `None`.
+    pub deadline: Option<Duration>,
     /// Accumulation mode forced on the batcher thread for every forward
     /// pass. `Some(Accum::F64)` makes batched output bit-identical to
     /// unbatched; `None` (default) inherits the process-global mode.
@@ -124,6 +181,8 @@ impl Default for ServeConfig {
             max_batch: default_max_batch(),
             max_wait: default_max_wait(),
             queue_cap: 4096,
+            shed_threshold: None,
+            deadline: default_deadline(),
             accum: None,
             reload_poll: Duration::from_millis(50),
         }
@@ -149,6 +208,25 @@ impl ServeConfig {
         self
     }
 
+    /// Enables load shedding once `n` requests are queued (clamped to at
+    /// least 1).
+    pub fn shed_threshold(mut self, n: usize) -> Self {
+        self.shed_threshold = Some(n.max(1));
+        self
+    }
+
+    /// Sets the default per-request deadline.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Clears the default per-request deadline (requests wait forever).
+    pub fn no_deadline(mut self) -> Self {
+        self.deadline = None;
+        self
+    }
+
     /// Forces an accumulation mode on the batcher thread.
     pub fn accum(mut self, mode: Accum) -> Self {
         self.accum = Some(mode);
@@ -163,6 +241,13 @@ impl ServeConfig {
 }
 
 /// Why a request could not be served.
+///
+/// The variants split into *retryable* conditions — transient states a
+/// client should back off and retry ([`ServeError::retryable`] is `true`:
+/// [`Self::QueueFull`], [`Self::Overloaded`], [`Self::BatcherDown`],
+/// [`Self::DeadlineExceeded`]) — and terminal ones where a retry of the
+/// same request cannot help ([`Self::BadShape`], [`Self::ShutDown`],
+/// [`Self::Disconnected`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ServeError {
     /// The submitted tensor's shape does not match the shape the server
@@ -175,11 +260,56 @@ pub enum ServeError {
     },
     /// The queue is at [`ServeConfig::queue_cap`]; retry later.
     QueueFull,
+    /// The queue is past [`ServeConfig::shed_threshold`] and the server
+    /// is shedding load to protect the latency of requests it has
+    /// already accepted.
+    Overloaded {
+        /// Rough estimate of when capacity should free up (current queue
+        /// depth in batches times the batch wait); a polite client backs
+        /// off at least this long.
+        retry_after: Duration,
+    },
+    /// The request waited past its deadline before the batcher dispatched
+    /// it, and was expired rather than served late.
+    DeadlineExceeded,
+    /// The batcher thread died (panic) while this request was queued or
+    /// in flight; the supervisor failed the request fast rather than
+    /// leaving its [`Pending`] hanging. The batcher is being respawned —
+    /// retry.
+    BatcherDown,
     /// The server is shutting down and no longer accepts requests.
     ShutDown,
     /// The batcher dropped the response channel (server torn down while
     /// the request was in flight).
     Disconnected,
+}
+
+impl ServeError {
+    /// True for transient conditions where backing off and retrying the
+    /// same request can succeed: [`Self::QueueFull`],
+    /// [`Self::Overloaded`], [`Self::BatcherDown`] (the supervisor is
+    /// respawning the batcher) and [`Self::DeadlineExceeded`] (a fresh
+    /// attempt gets a fresh deadline). False for [`Self::BadShape`],
+    /// [`Self::ShutDown`] and [`Self::Disconnected`], where retrying
+    /// cannot change the outcome.
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            ServeError::QueueFull
+                | ServeError::Overloaded { .. }
+                | ServeError::BatcherDown
+                | ServeError::DeadlineExceeded
+        )
+    }
+
+    /// The server's backoff hint, when it gave one
+    /// ([`Self::Overloaded`]).
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            ServeError::Overloaded { retry_after } => Some(*retry_after),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ServeError {
@@ -189,6 +319,11 @@ impl std::fmt::Display for ServeError {
                 write!(f, "bad request shape: expected {expected:?}, got {got:?}")
             }
             ServeError::QueueFull => write!(f, "request queue is full"),
+            ServeError::Overloaded { retry_after } => {
+                write!(f, "server is shedding load; retry after {retry_after:?}")
+            }
+            ServeError::DeadlineExceeded => write!(f, "request expired before dispatch"),
+            ServeError::BatcherDown => write!(f, "batcher thread died; restarting"),
             ServeError::ShutDown => write!(f, "server is shut down"),
             ServeError::Disconnected => write!(f, "server dropped the request"),
         }
@@ -204,6 +339,15 @@ pub struct ServeStats {
     pub requests: u64,
     /// Forward passes executed (each serves 1..=`max_batch` requests).
     pub batches: u64,
+    /// Requests expired with [`ServeError::DeadlineExceeded`] instead of
+    /// being served late.
+    pub expired: u64,
+    /// Requests shed with [`ServeError::Overloaded`] at submission.
+    pub shed: u64,
+    /// Times the supervisor respawned a panicked batcher thread.
+    pub batcher_restarts: u64,
+    /// Times the hot-reload watcher survived a panicked poll iteration.
+    pub watcher_restarts: u64,
     /// Checkpoint reloads that passed verification and were swapped in.
     pub reloads: u64,
     /// Checkpoint files that changed but were rejected (failed CRC /
@@ -218,6 +362,10 @@ pub struct ServeStats {
 struct StatsInner {
     requests: AtomicU64,
     batches: AtomicU64,
+    expired: AtomicU64,
+    shed: AtomicU64,
+    batcher_restarts: AtomicU64,
+    watcher_restarts: AtomicU64,
     reloads: AtomicU64,
     rejected_reloads: AtomicU64,
     dropped_replies: AtomicU64,
@@ -226,8 +374,38 @@ struct StatsInner {
 struct Request {
     /// Always `[1, example_dims...]`.
     x: Tensor,
-    tx: mpsc::Sender<Tensor>,
+    /// Taken exactly once by [`Request::reply`]; the `Drop` impl uses
+    /// whatever is left to guarantee the client's [`Pending`] resolves.
+    tx: Option<mpsc::Sender<Result<Tensor, ServeError>>>,
     enqueued: Instant,
+    /// Absolute expiry instant, if the request has a deadline.
+    deadline: Option<Instant>,
+}
+
+impl Request {
+    /// Sends the request's final outcome. Returns `false` if the client
+    /// already dropped its [`Pending`].
+    fn reply(mut self, outcome: Result<Tensor, ServeError>) -> bool {
+        match self.tx.take() {
+            Some(tx) => tx.send(outcome).is_ok(),
+            None => true,
+        }
+    }
+}
+
+impl Drop for Request {
+    /// The never-hang guarantee: a request dropped without an explicit
+    /// [`Request::reply`] — a batcher thread unwinding mid-batch, a
+    /// supervisor clearing the queue — resolves its [`Pending`] with the
+    /// retryable [`ServeError::BatcherDown`] instead of leaving the
+    /// client blocked forever.
+    fn drop(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            // lint:allow(errprop) — the client may itself be gone; there
+            // is nobody left to tell, and this is already the error path.
+            let _ = tx.send(Err(ServeError::BatcherDown));
+        }
+    }
 }
 
 struct QueueInner {
@@ -243,7 +421,8 @@ struct Shared {
     cv: Condvar,
     /// Weights snapshot; the batcher clones the `Arc` once per batch, so
     /// a hot-reload swap can never mix old and new weights inside one
-    /// forward pass.
+    /// forward pass. Also the supervisor's "last-good" state: a respawned
+    /// batcher picks up exactly the snapshot the previous one last saw.
     snapshot: Mutex<Arc<Params>>,
     stopping: AtomicBool,
     stats: StatsInner,
@@ -252,22 +431,29 @@ struct Shared {
 /// A response handle returned by [`Server::submit`].
 #[derive(Debug)]
 pub struct Pending {
-    rx: mpsc::Receiver<Tensor>,
+    rx: mpsc::Receiver<Result<Tensor, ServeError>>,
 }
 
 impl Pending {
-    /// Blocks until the batch containing this request has run and returns
-    /// the `[1, out...]` output row.
+    /// Blocks until the request resolves: the `[1, out...]` output row on
+    /// success, or a typed [`ServeError`] if the request expired
+    /// ([`ServeError::DeadlineExceeded`]) or the batcher died while it
+    /// was queued ([`ServeError::BatcherDown`] — retryable). An accepted
+    /// request *always* resolves; this cannot hang on a dead batcher.
     pub fn wait(self) -> Result<Tensor, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::Disconnected)
+        match self.rx.recv() {
+            Ok(outcome) => outcome,
+            Err(_) => Err(ServeError::Disconnected),
+        }
     }
 }
 
-/// A running inference server: a dynamic batcher thread plus an optional
-/// checkpoint-watcher thread over an immutable model architecture.
+/// A running inference server: a supervised dynamic-batcher thread plus
+/// an optional checkpoint-watcher thread over an immutable model
+/// architecture.
 pub struct Server {
     shared: Arc<Shared>,
-    batcher: Option<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
     watcher: Option<JoinHandle<()>>,
 }
 
@@ -317,11 +503,13 @@ impl Server {
             stopping: AtomicBool::new(false),
             stats: StatsInner::default(),
         });
-        let b = Arc::clone(&shared);
-        // lint:allow(spawn) — long-lived service thread, not a compute job:
-        // it blocks on a condvar between batches, which would wedge a pool
-        // worker; the forward pass it dispatches runs on the pool.
-        let batcher = std::thread::spawn(move || batcher_loop(&b));
+        let sup = Arc::clone(&shared);
+        // lint:allow(spawn) — long-lived service thread, not a compute
+        // job: the supervisor parks in join() on the batcher it spawns
+        // (which itself blocks on a condvar between batches); parking
+        // either on a pool worker would wedge a compute slot for the life
+        // of the server. The forward passes they dispatch run on the pool.
+        let supervisor = std::thread::spawn(move || supervisor_loop(&sup));
         let watcher = watch.map(|path| {
             let w = Arc::clone(&shared);
             // lint:allow(spawn) — long-lived service thread that sleeps
@@ -331,18 +519,40 @@ impl Server {
         });
         Server {
             shared,
-            batcher: Some(batcher),
+            supervisor: Some(supervisor),
             watcher,
         }
     }
 
-    /// Enqueues one example (shape exactly `example_dims`) and returns a
-    /// [`Pending`] handle without blocking on the forward pass.
+    /// Enqueues one example (shape exactly `example_dims`) under the
+    /// configured default deadline and returns a [`Pending`] handle
+    /// without blocking on the forward pass.
     pub fn submit(&self, x: Tensor) -> Result<Pending, ServeError> {
+        self.submit_with_deadline(x, self.shared.cfg.deadline)
+    }
+
+    /// [`Server::submit`] with a per-request deadline override: `None`
+    /// waits indefinitely regardless of [`ServeConfig::deadline`];
+    /// `Some(d)` expires the request `d` after acceptance if the batcher
+    /// has not dispatched it by then.
+    pub fn submit_with_deadline(
+        &self,
+        x: Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<Pending, ServeError> {
         if x.shape().dims() != self.shared.example_dims.as_slice() {
             return Err(ServeError::BadShape {
                 expected: self.shared.example_dims.clone(),
                 got: x.shape().dims().to_vec(),
+            });
+        }
+        // Injected admission failure (`GANDEF_FAULT=io-fail:serve_submit:n`)
+        // presents as load shedding: the cleanest retryable refusal.
+        if io_point("serve_submit").is_err() {
+            // lint:allow(atomics) — monotonic stats counter, see stats().
+            self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded {
+                retry_after: self.shared.cfg.max_wait,
             });
         }
         let mut batched_dims = Vec::with_capacity(1 + self.shared.example_dims.len());
@@ -359,10 +569,25 @@ impl Server {
             if inner.queue.len() >= self.shared.cfg.queue_cap {
                 return Err(ServeError::QueueFull);
             }
+            if let Some(shed_at) = self.shared.cfg.shed_threshold {
+                if inner.queue.len() >= shed_at {
+                    let backlog_batches =
+                        (inner.queue.len() / self.shared.cfg.max_batch).max(1) as u32;
+                    drop(inner);
+                    // lint:allow(atomics) — monotonic stats counter, see
+                    // stats().
+                    self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::Overloaded {
+                        retry_after: self.shared.cfg.max_wait.saturating_mul(backlog_batches),
+                    });
+                }
+            }
+            let now = Instant::now();
             inner.queue.push_back(Request {
                 x,
-                tx,
-                enqueued: Instant::now(),
+                tx: Some(tx),
+                enqueued: now,
+                deadline: deadline.map(|d| now + d),
             });
         }
         // lint:allow(atomics) — monotonic stats counter; stats() readers
@@ -377,6 +602,44 @@ impl Server {
         self.submit(x)?.wait()
     }
 
+    /// [`Server::classify`] with client-side fault tolerance: on a
+    /// [retryable](ServeError::retryable) error, backs off with bounded
+    /// exponential backoff plus deterministic jitter (half the pause is
+    /// fixed, half uniform — desynchronizing a fleet of retrying clients)
+    /// and tries again, up to [`RetryPolicy::max_attempts`] total
+    /// attempts. An [`ServeError::Overloaded`] retry-after hint raises
+    /// the pause to at least the hint. Non-retryable errors and the final
+    /// attempt's error are returned as-is.
+    pub fn classify_with_retry(
+        &self,
+        x: Tensor,
+        policy: &RetryPolicy,
+    ) -> Result<Tensor, ServeError> {
+        let attempts = policy.max_attempts.max(1);
+        let mut rng = Prng::new(policy.seed);
+        let mut backoff = policy.base;
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let err = match self.classify(x.clone()) {
+                Ok(y) => return Ok(y),
+                Err(e) => e,
+            };
+            if !err.retryable() || attempt >= attempts {
+                return Err(err);
+            }
+            let mut pause = backoff.min(policy.cap);
+            if let Some(hint) = err.retry_after() {
+                pause = pause.max(hint);
+            }
+            let nanos = u64::try_from(pause.as_nanos()).unwrap_or(u64::MAX);
+            let half = (nanos / 2).max(1) as usize;
+            let jittered = nanos / 2 + rng.below(half) as u64;
+            std::thread::sleep(Duration::from_nanos(jittered));
+            backoff = backoff.saturating_mul(2);
+        }
+    }
+
     /// Snapshot of the server's counters.
     pub fn stats(&self) -> ServeStats {
         // lint:allow(atomics) — counters are independent monotonic
@@ -385,6 +648,10 @@ impl Server {
         ServeStats {
             requests: self.shared.stats.requests.load(Ordering::Relaxed),
             batches: self.shared.stats.batches.load(Ordering::Relaxed),
+            expired: self.shared.stats.expired.load(Ordering::Relaxed),
+            shed: self.shared.stats.shed.load(Ordering::Relaxed),
+            batcher_restarts: self.shared.stats.batcher_restarts.load(Ordering::Relaxed),
+            watcher_restarts: self.shared.stats.watcher_restarts.load(Ordering::Relaxed),
             reloads: self.shared.stats.reloads.load(Ordering::Relaxed),
             rejected_reloads: self.shared.stats.rejected_reloads.load(Ordering::Relaxed),
             dropped_replies: self.shared.stats.dropped_replies.load(Ordering::Relaxed),
@@ -392,8 +659,9 @@ impl Server {
     }
 
     /// Stops accepting new requests, drains everything already queued
-    /// (every outstanding [`Pending`] still resolves), joins both service
-    /// threads and returns the final counters.
+    /// (every outstanding [`Pending`] still resolves — with a result, or
+    /// with [`ServeError::BatcherDown`] if the batcher died during the
+    /// drain), joins the service threads and returns the final counters.
     pub fn shutdown(mut self) -> ServeStats {
         self.stop();
         self.stats()
@@ -406,7 +674,7 @@ impl Server {
         self.shared.stopping.store(true, Ordering::Relaxed);
         lock(&self.shared.queue).shutdown = true;
         self.shared.cv.notify_all();
-        if let Some(h) = self.batcher.take() {
+        if let Some(h) = self.supervisor.take() {
             // lint:allow(errprop) — join's Err is the service thread's
             // panic payload; we are already stopping, and the panic has
             // been reported on stderr by the default hook.
@@ -426,12 +694,140 @@ impl Drop for Server {
     }
 }
 
+/// Client-side retry tuning for [`Server::classify_with_retry`].
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, counting the first try. Default 4.
+    pub max_attempts: usize,
+    /// Backoff before the first retry; doubles after every retry.
+    /// Default 1 ms.
+    pub base: Duration,
+    /// Upper bound on any single (pre-hint) backoff pause. Default
+    /// 100 ms.
+    pub cap: Duration,
+    /// Seed of the deterministic jitter stream; give each client its own
+    /// seed so their retries desynchronize.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(100),
+            seed: 0x5e71e,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Sets the total attempt budget (clamped to at least 1).
+    pub fn max_attempts(mut self, n: usize) -> Self {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// Sets the initial backoff pause.
+    pub fn base(mut self, d: Duration) -> Self {
+        self.base = d;
+        self
+    }
+
+    /// Sets the backoff upper bound.
+    pub fn cap(mut self, d: Duration) -> Self {
+        self.cap = d;
+        self
+    }
+
+    /// Sets the jitter seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+}
+
+/// Keeps a batcher thread alive: respawns it after a panic (failing
+/// everything queued fast so no [`Pending`] ever hangs), exits when the
+/// batcher returns cleanly (shutdown drain complete).
+fn supervisor_loop(shared: &Arc<Shared>) {
+    loop {
+        let b = Arc::clone(shared);
+        // lint:allow(spawn) — the supervised service thread itself; see
+        // the rationale at the supervisor spawn in Server::start.
+        let batcher = std::thread::spawn(move || batcher_loop(&b));
+        if batcher.join().is_ok() {
+            // Clean exit: shutdown drain finished.
+            return;
+        }
+        // The batcher panicked (a bug, or an injected
+        // `GANDEF_FAULT=panic:serve_*` fault). Anything it had drained
+        // into its batch already resolved via Request::drop during the
+        // unwind; fail what is still queued the same way so clients see
+        // a prompt, retryable error instead of a stalled queue.
+        let stranded: Vec<Request> = lock(&shared.queue).queue.drain(..).collect();
+        for req in stranded {
+            req.reply(Err(ServeError::BatcherDown));
+        }
+        // lint:allow(atomics) — shutdown flag poll, see Server::stop.
+        if shared.stopping.load(Ordering::Relaxed) {
+            return;
+        }
+        // lint:allow(atomics) — monotonic stats counter, see stats().
+        shared
+            .stats
+            .batcher_restarts
+            .fetch_add(1, Ordering::Relaxed);
+        eprintln!("gandef-serve: batcher thread panicked; respawning from the last-good snapshot");
+    }
+}
+
+/// Runs the `site` fault hook; on an injected I/O failure, fails every
+/// request in `batch` with the retryable [`ServeError::BatcherDown`] and
+/// returns `None` so the batcher skips the batch and keeps serving. An
+/// injected *panic* at the site unwinds instead, resolving the batch via
+/// `Request::drop` and handing control to the supervisor.
+fn fault_gate(shared: &Shared, site: &str, batch: Vec<Request>) -> Option<Vec<Request>> {
+    if io_point(site).is_err() {
+        for req in batch {
+            if !req.reply(Err(ServeError::BatcherDown)) {
+                // lint:allow(atomics) — monotonic stats counter, see
+                // stats().
+                shared.stats.dropped_replies.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        return None;
+    }
+    Some(batch)
+}
+
 /// Accumulates requests into batches and runs one forward pass per batch.
 fn batcher_loop(shared: &Shared) {
     loop {
         let batch: Vec<Request> = {
             let mut inner = lock(&shared.queue);
             loop {
+                // Expire overdue requests *before* deciding whether to
+                // dispatch: a request past its deadline is never served
+                // late, even during the shutdown drain.
+                let now = Instant::now();
+                let mut i = 0;
+                while i < inner.queue.len() {
+                    if inner.queue[i].deadline.is_some_and(|d| d <= now) {
+                        if let Some(req) = inner.queue.remove(i) {
+                            // lint:allow(atomics) — monotonic stats
+                            // counter, see stats().
+                            shared.stats.expired.fetch_add(1, Ordering::Relaxed);
+                            if !req.reply(Err(ServeError::DeadlineExceeded)) {
+                                // lint:allow(atomics) — monotonic stats
+                                // counter, see stats().
+                                shared.stats.dropped_replies.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
                 if inner.queue.len() >= shared.cfg.max_batch || inner.shutdown {
                     break;
                 }
@@ -447,20 +843,35 @@ fn batcher_loop(shared: &Shared) {
                         if age >= shared.cfg.max_wait {
                             break;
                         }
+                        // Wake no later than the earliest deadline, so
+                        // expiry stays prompt even under a long max_wait.
+                        let mut wait = shared.cfg.max_wait - age;
+                        if let Some(d) = inner.queue.iter().filter_map(|r| r.deadline).min() {
+                            wait = wait.min(d.saturating_duration_since(now));
+                        }
                         inner = shared
                             .cv
-                            .wait_timeout(inner, shared.cfg.max_wait - age)
+                            .wait_timeout(inner, wait)
                             .unwrap_or_else(PoisonError::into_inner)
                             .0;
                     }
                 }
             }
             if inner.queue.is_empty() {
-                // Only reachable on shutdown with nothing left to drain.
-                return;
+                if inner.shutdown {
+                    // Shutdown with nothing left to drain: clean exit.
+                    return;
+                }
+                // Everything queued expired; go back to waiting.
+                continue;
             }
             let n = inner.queue.len().min(shared.cfg.max_batch);
             inner.queue.drain(..n).collect()
+        };
+
+        // Injected dispatch failure (`GANDEF_FAULT=<kind>:serve_batch:n`).
+        let Some(batch) = fault_gate(shared, "serve_batch", batch) else {
+            continue;
         };
 
         // One immutable snapshot per batch: a concurrent hot-reload swap
@@ -468,16 +879,26 @@ fn batcher_loop(shared: &Shared) {
         let params: Arc<Params> = lock(&shared.snapshot).clone();
         let rows: Vec<&Tensor> = batch.iter().map(|r| &r.x).collect();
         let joined = Tensor::concat_rows(&rows);
+
+        // Injected forward failure (`GANDEF_FAULT=<kind>:serve_forward:n`).
+        let Some(batch) = fault_gate(shared, "serve_forward", batch) else {
+            continue;
+        };
         let out = match shared.cfg.accum {
             Some(mode) => with_accum(mode, || shared.model.infer(&params, joined)),
             None => shared.model.infer(&params, joined),
         };
         // lint:allow(atomics) — monotonic stats counter, see stats().
         shared.stats.batches.fetch_add(1, Ordering::Relaxed);
-        for (i, req) in batch.iter().enumerate() {
+
+        // Injected reply failure (`GANDEF_FAULT=<kind>:serve_reply:n`).
+        let Some(batch) = fault_gate(shared, "serve_reply", batch) else {
+            continue;
+        };
+        for (i, req) in batch.into_iter().enumerate() {
             // A client that gave up and dropped its Pending is fine —
             // but it is counted, not silently discarded.
-            if req.tx.send(out.slice_rows(i, i + 1)).is_err() {
+            if !req.reply(Ok(out.slice_rows(i, i + 1))) {
                 // lint:allow(atomics) — monotonic stats counter, see stats().
                 shared.stats.dropped_replies.fetch_add(1, Ordering::Relaxed);
             }
@@ -494,14 +915,100 @@ fn compatible(current: &Params, loaded: &Params) -> bool {
         })
 }
 
-/// Cheap change-detection key for the watched checkpoint file.
-fn file_key(path: &PathBuf) -> Option<(u64, Option<std::time::SystemTime>)> {
-    std::fs::metadata(path)
-        .ok()
-        .map(|m| (m.len(), m.modified().ok()))
+/// Change-detection key for the watched checkpoint file: length, mtime
+/// *and* a content fingerprint. The fingerprint costs one file read per
+/// poll but closes the staleness hole where a rewrite lands with the
+/// same length inside the filesystem's mtime granularity — `(len,
+/// mtime)` alone would never notice it. (It is FNV-1a, not CRC-32: see
+/// [`checkpoint_fingerprint`] for why a CRC of these files is blind to
+/// content.)
+type FileKey = (u64, Option<std::time::SystemTime>, Option<u64>);
+
+/// Computes the current [`FileKey`] of `path`, or `None` if it is gone.
+fn file_key(path: &PathBuf) -> Option<FileKey> {
+    std::fs::metadata(path).ok().map(|m| {
+        (
+            m.len(),
+            m.modified().ok(),
+            checkpoint_fingerprint(path).ok(),
+        )
+    })
 }
 
-/// Polls the watched checkpoint and swaps verified, compatible weights in.
+/// One watcher poll: notices a changed checkpoint file and swaps verified,
+/// compatible weights in.
+fn poll_reload(shared: &Shared, path: &PathBuf, last_key: &mut Option<FileKey>) {
+    let key = file_key(path);
+    if key == *last_key || key.is_none() {
+        *last_key = key;
+        return;
+    }
+    *last_key = key;
+    // Injected reload failure (`GANDEF_FAULT=<kind>:serve_reload:n`):
+    // treated exactly like an unreadable checkpoint — counted, skipped,
+    // and the server keeps answering from the previous snapshot.
+    if io_point("serve_reload").is_err() {
+        // lint:allow(atomics) — monotonic stats counter, see stats().
+        shared
+            .stats
+            .rejected_reloads
+            .fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "gandef-serve: rejected reload of {}: injected read failure; keeping previous weights",
+            path.display()
+        );
+        return;
+    }
+    match load_params_meta(path) {
+        Ok((loaded, meta)) if meta.verified => {
+            let current = lock(&shared.snapshot).clone();
+            if compatible(&current, &loaded) {
+                *lock(&shared.snapshot) = Arc::new(loaded);
+                // lint:allow(atomics) — monotonic stats counter,
+                // see stats().
+                shared.stats.reloads.fetch_add(1, Ordering::Relaxed);
+            } else {
+                // lint:allow(atomics) — monotonic stats counter,
+                // see stats().
+                shared
+                    .stats
+                    .rejected_reloads
+                    .fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "gandef-serve: rejected reload of {}: incompatible parameter set",
+                    path.display()
+                );
+            }
+        }
+        Ok(_) => {
+            // lint:allow(atomics) — monotonic stats counter,
+            // see stats().
+            shared
+                .stats
+                .rejected_reloads
+                .fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "gandef-serve: rejected reload of {}: checkpoint is unverified",
+                path.display()
+            );
+        }
+        Err(e) => {
+            // lint:allow(atomics) — monotonic stats counter,
+            // see stats().
+            shared
+                .stats
+                .rejected_reloads
+                .fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "gandef-serve: rejected reload of {}: {e:?}; keeping previous weights",
+                path.display()
+            );
+        }
+    }
+}
+
+/// Polls the watched checkpoint on an interval, surviving panics in any
+/// single poll (counted in [`ServeStats::watcher_restarts`]).
 fn watcher_loop(shared: &Shared, path: &PathBuf) {
     let mut last_key = file_key(path);
     // lint:allow(atomics) — shutdown poll; a stale read only delays exit
@@ -520,57 +1027,19 @@ fn watcher_loop(shared: &Shared, path: &PathBuf) {
             slept += step;
         }
 
-        let key = file_key(path);
-        if key == last_key || key.is_none() {
-            last_key = key;
-            continue;
-        }
-        last_key = key;
-        match load_params_meta(path) {
-            Ok((loaded, meta)) if meta.verified => {
-                let current = lock(&shared.snapshot).clone();
-                if compatible(&current, &loaded) {
-                    *lock(&shared.snapshot) = Arc::new(loaded);
-                    // lint:allow(atomics) — monotonic stats counter,
-                    // see stats().
-                    shared.stats.reloads.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    // lint:allow(atomics) — monotonic stats counter,
-                    // see stats().
-                    shared
-                        .stats
-                        .rejected_reloads
-                        .fetch_add(1, Ordering::Relaxed);
-                    eprintln!(
-                        "gandef-serve: rejected reload of {}: incompatible parameter set",
-                        path.display()
-                    );
-                }
-            }
-            Ok(_) => {
-                // lint:allow(atomics) — monotonic stats counter,
-                // see stats().
-                shared
-                    .stats
-                    .rejected_reloads
-                    .fetch_add(1, Ordering::Relaxed);
-                eprintln!(
-                    "gandef-serve: rejected reload of {}: checkpoint is unverified",
-                    path.display()
-                );
-            }
-            Err(e) => {
-                // lint:allow(atomics) — monotonic stats counter,
-                // see stats().
-                shared
-                    .stats
-                    .rejected_reloads
-                    .fetch_add(1, Ordering::Relaxed);
-                eprintln!(
-                    "gandef-serve: rejected reload of {}: {e:?}; keeping previous weights",
-                    path.display()
-                );
-            }
+        // A panic inside one poll (e.g. an injected
+        // `GANDEF_FAULT=panic:serve_reload:n`) must not kill hot-reload
+        // for the life of the server: contain it and keep polling.
+        let poll = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            poll_reload(shared, path, &mut last_key);
+        }));
+        if poll.is_err() {
+            // lint:allow(atomics) — monotonic stats counter, see stats().
+            shared
+                .stats
+                .watcher_restarts
+                .fetch_add(1, Ordering::Relaxed);
+            eprintln!("gandef-serve: watcher poll panicked; continuing from the next poll");
         }
     }
 }
@@ -626,6 +1095,7 @@ mod tests {
         let cfg = ServeConfig::default()
             .max_batch(1000)
             .max_wait(Duration::from_secs(60))
+            .no_deadline()
             .queue_cap(2);
         let server = Server::new(model, params, vec![6], cfg);
         let p1 = server.submit(Tensor::zeros(&[6])).unwrap();
@@ -641,6 +1111,46 @@ mod tests {
     }
 
     #[test]
+    fn shed_threshold_rejects_with_a_retry_hint() {
+        let (model, params) = toy(5);
+        let cfg = ServeConfig::default()
+            .max_batch(1000)
+            .max_wait(Duration::from_secs(60))
+            .no_deadline()
+            .queue_cap(100)
+            .shed_threshold(2);
+        let server = Server::new(model, params, vec![6], cfg);
+        let p1 = server.submit(Tensor::zeros(&[6])).unwrap();
+        let p2 = server.submit(Tensor::zeros(&[6])).unwrap();
+        let err = server.submit(Tensor::zeros(&[6])).unwrap_err();
+        assert!(matches!(err, ServeError::Overloaded { .. }));
+        assert!(err.retryable());
+        assert!(err.retry_after().unwrap() > Duration::ZERO);
+        drop(server);
+        assert!(p1.wait().is_ok());
+        assert!(p2.wait().is_ok());
+    }
+
+    #[test]
+    fn stale_requests_expire_instead_of_serving_late() {
+        let (model, params) = toy(6);
+        // The batcher needs max_batch requests or max_wait of queue age to
+        // dispatch; a tiny deadline under a huge max_wait guarantees the
+        // request expires first.
+        let cfg = ServeConfig::default()
+            .max_batch(1000)
+            .max_wait(Duration::from_secs(60))
+            .no_deadline();
+        let server = Server::new(model, params, vec![6], cfg);
+        let pending = server
+            .submit_with_deadline(Tensor::zeros(&[6]), Some(Duration::from_millis(5)))
+            .unwrap();
+        assert_eq!(pending.wait().unwrap_err(), ServeError::DeadlineExceeded);
+        let stats = server.shutdown();
+        assert_eq!(stats.expired, 1);
+    }
+
+    #[test]
     fn submit_after_shutdown_is_refused() {
         let (model, params) = toy(4);
         let mut server = Server::new(model, params, vec![6], ServeConfig::default());
@@ -649,5 +1159,72 @@ mod tests {
             server.submit(Tensor::zeros(&[6])).unwrap_err(),
             ServeError::ShutDown
         );
+    }
+
+    #[test]
+    fn retryability_classification_covers_every_variant() {
+        for e in [
+            ServeError::QueueFull,
+            ServeError::Overloaded {
+                retry_after: Duration::from_millis(1),
+            },
+            ServeError::BatcherDown,
+            ServeError::DeadlineExceeded,
+        ] {
+            assert!(e.retryable(), "{e} must be retryable");
+        }
+        for e in [
+            ServeError::BadShape {
+                expected: vec![6],
+                got: vec![5],
+            },
+            ServeError::ShutDown,
+            ServeError::Disconnected,
+        ] {
+            assert!(!e.retryable(), "{e} must not be retryable");
+        }
+        let hint = Duration::from_millis(7);
+        assert_eq!(
+            ServeError::Overloaded { retry_after: hint }.retry_after(),
+            Some(hint)
+        );
+        assert_eq!(ServeError::QueueFull.retry_after(), None);
+    }
+
+    #[test]
+    fn retry_gives_up_immediately_on_non_retryable_errors() {
+        let (model, params) = toy(7);
+        let mut server = Server::new(model, params, vec![6], ServeConfig::default());
+        server.stop();
+        let t0 = Instant::now();
+        let err = server
+            .classify_with_retry(
+                Tensor::zeros(&[6]),
+                &RetryPolicy::default().base(Duration::from_secs(1)),
+            )
+            .unwrap_err();
+        assert_eq!(err, ServeError::ShutDown);
+        // No backoff pause was taken: ShutDown is terminal.
+        assert!(t0.elapsed() < Duration::from_millis(500));
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_shedding() {
+        let (model, params) = toy(8);
+        // Queue admission fails once (injected), then succeeds: the retry
+        // helper absorbs the transient Overloaded.
+        let spec = gandef_nn::fault::FaultSpec::parse("io-fail:serve_submit:1").unwrap();
+        let server = Server::new(model, params, vec![6], ServeConfig::default());
+        let y = gandef_nn::fault::with_fault(spec, || {
+            server.classify_with_retry(
+                Tensor::zeros(&[6]),
+                &RetryPolicy::default().base(Duration::from_micros(100)),
+            )
+        })
+        .unwrap();
+        assert_eq!(y.shape().dims(), &[1, 4]);
+        let stats = server.shutdown();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.requests, 1);
     }
 }

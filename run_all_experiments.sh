@@ -2,12 +2,15 @@
 # Regenerates every paper artifact sequentially (see DESIGN.md §4).
 # Usage: ./run_all_experiments.sh [--fresh] [extra harness flags, e.g. --paper-scale]
 #
-# The run is resumable: each harness that completes drops a
-# results/<binary>.done marker and is skipped on the next invocation, so
-# a crashed or interrupted sweep picks up at the first unfinished
-# harness instead of repeating hours of finished work. Pass --fresh to
-# clear the markers and rerun everything. Markers are also invalidated
-# when the flags change (the flag string is stored inside the marker).
+# The run is resumable at two granularities: each harness that completes
+# drops a results/<binary>.done marker and is skipped on the next
+# invocation, and the long-training harnesses (table3, table4,
+# fig5_convergence) additionally checkpoint every training run under
+# results/ckpt-<binary>/ via --resume, so a crash mid-harness resumes at
+# the last finished epoch rather than the last finished harness. Pass
+# --fresh to clear markers and checkpoints and rerun everything. Markers
+# are also invalidated when the flags change (the flag string is stored
+# inside the marker).
 #
 # Binaries are built once up front and then invoked directly, so the run is
 # immune to concurrent source edits.
@@ -18,6 +21,7 @@ mkdir -p results
 if [ "${1:-}" = "--fresh" ]; then
   shift
   rm -f results/*.done
+  rm -rf results/ckpt-*
 fi
 flags="$*"
 
@@ -31,9 +35,16 @@ for b in table3 table4 fig5_time fig5_convergence gamma_ablation \
     continue
   fi
   echo "=== $b $(date +%H:%M:%S) ==="
-  if "./target/release/$b" "$@" 2>&1 | tee "results/${b}_run.log" \
+  # Epoch-level resume for the training-heavy harnesses ($extra stays a
+  # plain word-split string: the path contains no spaces).
+  case "$b" in
+    table3|table4|fig5_convergence) extra="--resume results/ckpt-$b" ;;
+    *) extra="" ;;
+  esac
+  if "./target/release/$b" "$@" $extra 2>&1 | tee "results/${b}_run.log" \
      && [ "${PIPESTATUS[0]}" -eq 0 ]; then
     printf '%s' "$flags" > "$marker"
+    rm -rf "results/ckpt-$b"
   else
     echo "=== $b FAILED — no marker written, rerun resumes here ==="
   fi

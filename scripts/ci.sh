@@ -159,6 +159,30 @@ echo "==> bench_serve --smoke + bench_diff"
 ./target/release/bench_diff --baseline BENCH_serve.json --fresh "$out/BENCH_serve_smoke.json" \
     --min-ratio 0.25 --require serve_p50,serve_p99,serve_throughput
 
+echo "==> traffic_harness --chaos --smoke (serve-path fault sweep)"
+# Chaos gate: every serve-path fault site (submit / batch / forward /
+# reply / reload) crossed with every injectable kind (io-fail / panic /
+# delay), against a fingerprint model whose replies expose torn weights.
+# Asserts the fault-tolerance invariants: every accepted request resolves
+# (no Pending::wait ever hangs), no reply shows a torn snapshot, the
+# supervisor respawns a panicked batcher, and service recovers once the
+# fault clears. Bounded runtime: a wedged fleet fails via recv_timeout.
+./target/release/traffic_harness --chaos --smoke
+
+echo "==> traffic_harness --smoke + bench_diff"
+# Continuous-traffic gate: mixed clean/FGSM/PGD/DeepFool replay against a
+# live server under concurrent hot-reloads, with windowed online accuracy
+# and latency tracked in BENCH_traffic.json. Latency ratios share
+# bench_serve's loose 0.25 threshold; the accuracy entry is
+# scale-independent, so the same gate catches a serving-path regression
+# that wrecks correctness rather than speed. The adversarial-class
+# accuracies are recorded but not required: the harness model is
+# undefended, so those sit at/near zero by design (bench_diff skips
+# zero-valued entries).
+./target/release/traffic_harness --smoke --out "$out/BENCH_traffic_smoke.json"
+./target/release/bench_diff --baseline BENCH_traffic.json --fresh "$out/BENCH_traffic_smoke.json" \
+    --min-ratio 0.25 --require traffic_throughput,traffic_p99,traffic_clean_acc
+
 echo "==> numerics audit: f64 oracle invariance"
 # Under GANDEF_ACCUM=f64 the kernel fingerprints must not depend on the
 # worker-pool size or FMA availability.

@@ -10,20 +10,36 @@
 //!    previous verified snapshot; a good checkpoint swaps in whole.
 //! 3. **Shutdown drains.** Every request accepted before shutdown still
 //!    resolves.
+//! 4. **Staleness is content-keyed.** The reload poll detects a rewrite
+//!    even when length and mtime are unchanged (content fingerprint in
+//!    the poll key).
+//! 5. **Supervision is invisible.** After the batcher panics and is
+//!    respawned, batched serving is still bit-identical to unbatched.
 
 use std::path::PathBuf;
 use std::time::Duration;
 
+use zk_gandef_repro::nn::fault::{FaultSpec, GlobalFault};
 use zk_gandef_repro::nn::layer::{Act, Dense, Layer, Sequential};
 use zk_gandef_repro::nn::serialize::save_params;
 use zk_gandef_repro::nn::Params;
-use zk_gandef_repro::serve::{ServeConfig, Server};
+use zk_gandef_repro::serve::{ServeConfig, ServeError, Server};
 use zk_gandef_repro::tensor::accum::{with_accum, Accum};
 use zk_gandef_repro::tensor::rng::Prng;
 use zk_gandef_repro::tensor::Tensor;
 
 const IN: usize = 12;
 const OUT: usize = 5;
+
+/// Serializes the tests in this binary: one of them arms the
+/// process-global fault injector at a serving site every server in this
+/// file passes through, so overlapping tests could steal each other's
+/// injected faults.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn model() -> Sequential {
     Sequential::new(vec![
@@ -59,6 +75,7 @@ fn examples(n: usize, seed: u64) -> Vec<Tensor> {
 /// not change what a client observes.
 #[test]
 fn batched_rows_are_bit_identical_to_unbatched() {
+    let _guard = serial();
     let n = 8;
     let params = init_params(11);
     let xs = examples(n, 12);
@@ -104,6 +121,7 @@ fn batched_rows_are_bit_identical_to_unbatched() {
 /// good checkpoint then swaps in atomically and changes the outputs.
 #[test]
 fn hot_reload_never_serves_a_torn_snapshot() {
+    let _guard = serial();
     let dir = temp_dir("reload");
     let ckpt = dir.join("weights.gndf");
     let params_a = init_params(21);
@@ -184,6 +202,7 @@ fn hot_reload_never_serves_a_torn_snapshot() {
 /// deadline is far in the future.
 #[test]
 fn shutdown_drains_the_queue() {
+    let _guard = serial();
     let k = 17;
     let params = init_params(31);
     // Neither trigger can fire on its own inside the test window: only
@@ -220,6 +239,7 @@ fn shutdown_drains_the_queue() {
 /// weights would show a non-constant row or a version never written.
 #[test]
 fn reload_under_contention_never_mixes_snapshots() {
+    let _guard = serial();
     const CLIENTS: usize = 4;
     const REQS_PER_CLIENT: usize = 60;
     const VERSIONS: usize = 20;
@@ -294,4 +314,170 @@ fn reload_under_contention_never_mixes_snapshots() {
         "contention run never actually reloaded: {stats:?}"
     );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Contract 4 (regression): a checkpoint rewritten in place with the
+/// *same byte length* and a *restored mtime* must still be picked up —
+/// the poll key folds in a fingerprint of the file contents, so a
+/// content change can never hide behind unchanged filesystem metadata. A
+/// pure `(len, mtime)` key misses exactly this rewrite and serves the
+/// stale snapshot forever. (The fingerprint is also deliberately not a
+/// CRC-32 — the format's embedded CRC trailers make any CRC-32 of a
+/// valid checkpoint a content-independent constant.)
+#[test]
+fn reload_detects_a_same_length_same_mtime_rewrite() {
+    let _guard = serial();
+
+    fn fingerprint_params(version: f32) -> Params {
+        let mut p = Params::default();
+        p.insert("fp.w", Tensor::zeros(&[IN, OUT]));
+        p.insert("fp.b", Tensor::full(&[OUT], version));
+        p
+    }
+    let fp_model = || {
+        Sequential::new(vec![
+            Box::new(Dense::new("fp", IN, OUT, None)) as Box<dyn Layer>
+        ])
+    };
+
+    let dir = temp_dir("crc");
+    let ckpt = dir.join("weights.gndf");
+    save_params(&fingerprint_params(1.0), &ckpt).unwrap();
+    let meta = std::fs::metadata(&ckpt).unwrap();
+    let (len, mtime) = (meta.len(), meta.modified().unwrap());
+
+    let cfg = ServeConfig::default()
+        .max_batch(1)
+        .accum(Accum::F64)
+        .reload_poll(Duration::from_millis(5));
+    let server = Server::with_hot_reload(
+        fp_model(),
+        fingerprint_params(1.0),
+        vec![IN],
+        cfg,
+        ckpt.clone(),
+    );
+    let x = examples(1, 61).remove(0);
+    assert_eq!(server.classify(x.clone()).unwrap().as_slice(), [1.0; OUT]);
+
+    // Stage the rewrite off to the side, pin its mtime back to the
+    // original, then rename over the checkpoint (rename preserves the
+    // file's own mtime), so the watcher never observes an intermediate
+    // state: the published file differs from v1 only in content bytes.
+    let staged = dir.join("staged.gndf");
+    save_params(&fingerprint_params(2.0), &staged).unwrap();
+    assert_eq!(
+        std::fs::metadata(&staged).unwrap().len(),
+        len,
+        "both versions must serialize to the same length for this regression to bite"
+    );
+    let f = std::fs::File::options().write(true).open(&staged).unwrap();
+    f.set_times(std::fs::FileTimes::new().set_modified(mtime))
+        .unwrap();
+    drop(f);
+    std::fs::rename(&staged, &ckpt).unwrap();
+    let republished = std::fs::metadata(&ckpt).unwrap();
+    assert_eq!(
+        (republished.len(), republished.modified().unwrap()),
+        (len, mtime),
+        "the rewrite must be metadata-indistinguishable from the original"
+    );
+
+    for _ in 0..400 {
+        if server.stats().reloads >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        server.stats().reloads >= 1,
+        "same-(len, mtime) rewrite went unnoticed: {:?}",
+        server.stats()
+    );
+    assert_eq!(
+        server.classify(x).unwrap().as_slice(),
+        [2.0; OUT],
+        "server still answers from the stale snapshot"
+    );
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Contract 5: a supervised batcher restart is invisible to correctness.
+/// An injected fault panics the batcher thread on its first batch
+/// dispatch; every queued request resolves (retryably, with
+/// `BatcherDown` — never a hang), the supervisor respawns the batcher
+/// from the last-good snapshot, and the resubmitted batch is still
+/// bit-identical to unbatched forwards under f64 accumulation.
+#[test]
+fn batching_stays_bit_identical_after_a_supervised_restart() {
+    let _guard = serial();
+    let n = 8;
+    let params = init_params(71);
+    let xs = examples(n, 72);
+    let reference: Vec<Tensor> = with_accum(Accum::F64, || {
+        let m = model();
+        xs.iter()
+            .map(|x| m.infer(&params, x.reshape(&[1, IN])))
+            .collect()
+    });
+
+    let cfg = ServeConfig::default()
+        .max_batch(n)
+        .max_wait(Duration::from_secs(30))
+        .accum(Accum::F64);
+    let server = Server::new(model(), params, vec![IN], cfg);
+
+    // First full batch: the dispatch site panics the batcher thread.
+    let armed = GlobalFault::arm(FaultSpec::parse("panic:serve_batch:1").unwrap());
+    let doomed: Vec<_> = xs
+        .iter()
+        .map(|x| server.submit(x.clone()).unwrap())
+        .collect();
+    for (i, p) in doomed.into_iter().enumerate() {
+        match p.wait() {
+            Err(e @ ServeError::BatcherDown) => assert!(e.retryable()),
+            other => {
+                panic!("request {i} must fail retryably after the batcher died, got {other:?}")
+            }
+        }
+    }
+    drop(armed);
+
+    // The supervisor joins the dead thread and respawns it.
+    for _ in 0..400 {
+        if server.stats().batcher_restarts >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(
+        server.stats().batcher_restarts,
+        1,
+        "supervisor never respawned the batcher: {:?}",
+        server.stats()
+    );
+
+    // The identical stream, resubmitted: fuses into one forward pass on
+    // the respawned batcher and matches the unbatched reference bit for
+    // bit — the restart changed nothing observable.
+    let pendings: Vec<_> = xs
+        .iter()
+        .map(|x| server.submit(x.clone()).unwrap())
+        .collect();
+    let served: Vec<Tensor> = pendings.into_iter().map(|p| p.wait().unwrap()).collect();
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.batches, 1,
+        "the panicked dispatch must not count as a served batch; the resubmission must fuse into one"
+    );
+    assert_eq!(stats.requests, 2 * n as u64);
+    for (i, (got, want)) in served.iter().zip(&reference).enumerate() {
+        assert_eq!(
+            got.as_slice(),
+            want.as_slice(),
+            "row {i}: a supervised restart must not perturb bit-identity"
+        );
+    }
 }
